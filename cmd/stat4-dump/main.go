@@ -1,0 +1,45 @@
+// Command stat4-dump prints the emitted Stat4 P4 program as a readable
+// pseudo-P4 listing together with its resource report — useful for
+// inspecting what the emitter actually generates.
+//
+//	stat4-dump -slots 8 -size 256 -stages 2
+//	stat4-dump -strict -report-only
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"stat4/internal/p4"
+	"stat4/internal/stat4p4"
+)
+
+func main() {
+	slots := flag.Int("slots", 2, "STAT_COUNTER_NUM: simultaneous distributions")
+	size := flag.Int("size", 128, "STAT_COUNTER_SIZE: cells per distribution")
+	stages := flag.Int("stages", 2, "binding stages")
+	echo := flag.Bool("echo", false, "include the echo application")
+	strict := flag.Bool("strict", false, "emit for the multiplication-free target")
+	reportOnly := flag.Bool("report-only", false, "print only the resource report")
+	sparse := flag.Bool("sparse", false, "include the sparse (hash-bucket) tracking mode")
+	emitP4 := flag.Bool("p416", false, "emit P4-16 source for the v1model architecture instead of the IR listing")
+	flag.Parse()
+
+	opts := stat4p4.Options{Slots: *slots, Size: *size, Stages: *stages, Echo: *echo, Strict: *strict, Sparse: *sparse}
+	lib := stat4p4.Build(opts)
+	if *emitP4 {
+		fmt.Print(stat4p4.EmitP416(lib))
+		return
+	}
+	if !*reportOnly {
+		fmt.Print(p4.Format(lib.Prog))
+		fmt.Println()
+	}
+	r := p4.AnalyzeProgram(lib.Prog)
+	fmt.Printf("resources: %d fields, %d actions, %d tables, %d registers\n",
+		r.NumFields, r.NumActions, r.NumTables, r.NumRegisters)
+	fmt.Printf("           %d register bytes + %d table bytes = %.1f KB\n",
+		r.RegisterBytes, r.TableBytes, float64(r.TotalBytes)/1024)
+	fmt.Printf("           match-rule dependencies: %d, longest dependency chain: %d\n",
+		r.MatchRuleDependencies, r.LongestDepChain)
+}

@@ -1,0 +1,199 @@
+// Command stat4-replay drives a Stat4 switch from a pcap capture: frames are
+// processed at their captured timestamps, the requested statistics are bound
+// before the replay, and the tracked measures plus any anomaly alerts are
+// printed at the end. With -record it instead synthesises a case-study-style
+// workload and writes it to a pcap file, so experiments are exchangeable as
+// ordinary captures.
+//
+//	stat4-replay -record trace.pcap -seconds 2
+//	stat4-replay trace.pcap -track window -interval-shift 23 -window 100
+//	stat4-replay trace.pcap -track dst24 -k 2
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+	"stat4/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stat4-replay: ")
+	record := flag.String("record", "", "write a synthetic case-study capture to this file and exit")
+	seconds := flag.Float64("seconds", 2, "capture length for -record")
+	track := flag.String("track", "window", "statistic to bind: window | dst24 | proto | len")
+	shift := flag.Uint("interval-shift", 23, "window interval exponent (2^shift ns)")
+	window := flag.Int("window", 100, "window length in intervals")
+	k := flag.Uint64("k", 2, "sigma multiplier for the anomaly check (0 disables for freq modes)")
+	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
+	configPath := flag.String("config", "", "JSON app config (overrides -track and friends)")
+	flag.Parse()
+
+	if *record != "" {
+		if err := recordTrace(*record, *seconds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		log.Fatal("usage: stat4-replay [flags] trace.pcap  (or -record out.pcap)")
+	}
+	if *configPath != "" {
+		if err := replayWithConfig(flag.Arg(0), *configPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	base, err := parseAddr(*basePrefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := replay(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func recordTrace(path string, seconds float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := packet.NewPcapWriter(f)
+
+	end := uint64(seconds * 1e9)
+	dests := traffic.CaseStudyDests()
+	load := &traffic.LoadBalanced{Dests: dests, Rate: 20000, End: end, Seed: 1, Jitter: 0.5}
+	spike := &traffic.Spike{Dest: dests[3], Rate: 60000, Start: end / 2, End: end, Seed: 2, Jitter: 0.5}
+	st := traffic.Merge(load, spike)
+	n := 0
+	for {
+		p, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := w.WriteFrame(p.TsNs, p.Frame.Serialize()); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Printf("wrote %d frames to %s (spike toward %v from %.2fs)\n",
+		n, path, dests[3], seconds/2)
+	return nil
+}
+
+// parseAddr parses a dotted-quad IPv4 address.
+func parseAddr(s string) (packet.IP4, error) {
+	var a, b, c, d byte
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad address %q: %v", s, err)
+	}
+	return packet.ParseIP4(a, b, c, d), nil
+}
+
+// replayWithConfig instantiates a declarative app and replays through it.
+func replayWithConfig(tracePath, configPath string) error {
+	cf, err := os.Open(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := stat4p4.LoadAppConfig(cf)
+	cf.Close()
+	if err != nil {
+		return err
+	}
+	rt, ids, err := cfg.Apply()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("applied %s: %d bindings, %d routes\n", configPath, len(ids), len(cfg.Routes))
+	return replayThrough(tracePath, rt, "config")
+}
+
+func replay(path, track string, shift uint, window int, k, dst24Base uint64) error {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	rt, err := stat4p4.NewRuntime(lib)
+	if err != nil {
+		return err
+	}
+	switch track {
+	case "window":
+		_, err = rt.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
+	case "dst24":
+		_, err = rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
+	case "proto":
+		_, err = rt.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
+	case "len":
+		_, err = rt.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
+	default:
+		return fmt.Errorf("unknown -track %q", track)
+	}
+	if err != nil {
+		return err
+	}
+	return replayThrough(path, rt, track)
+}
+
+// replayThrough streams the capture into a prepared runtime and reports.
+func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sw := rt.Switch()
+	r := packet.NewPcapReader(f)
+	frames := 0
+	var firstTs, lastTs uint64
+	var alerts []p4.Digest
+	for {
+		ts, frame, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if frames == 0 {
+			firstTs = ts
+		}
+		lastTs = ts
+		sw.ProcessFrame(ts, 1, frame)
+		for {
+			select {
+			case d := <-sw.Digests():
+				alerts = append(alerts, d)
+				continue
+			default:
+			}
+			break
+		}
+		frames++
+	}
+
+	st := sw.Stats()
+	m, _ := rt.ReadMoments(0)
+	fmt.Printf("replayed %d frames spanning %.3fs (%d parse errors)\n",
+		frames, float64(lastTs-firstTs)/1e9, st.ParseErrors)
+	fmt.Printf("tracked %q: N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
+		track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
+	fmt.Printf("%d anomaly alerts\n", len(alerts))
+	for i, d := range alerts {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(alerts)-10)
+			break
+		}
+		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
+			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command stat4-tables regenerates every table and figure of the paper's
+// evaluation and prints measured values next to the published ones. With no
+// flags it runs everything; individual artifacts can be selected.
+//
+//	stat4-tables                 # all experiments
+//	stat4-tables -table2         # sqrt approximation error (Table 2)
+//	stat4-tables -table3         # median estimation error (Table 3)
+//	stat4-tables -resources      # Section 4 resource consumption
+//	stat4-tables -casestudy      # Section 4 detection & drill-down sweep
+//	stat4-tables -arch           # Figure 1 architecture comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"stat4/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stat4-tables: ")
+	t2 := flag.Bool("table2", false, "regenerate Table 2 only")
+	t3 := flag.Bool("table3", false, "regenerate Table 3 only")
+	res := flag.Bool("resources", false, "regenerate the resource report only")
+	cs := flag.Bool("casestudy", false, "regenerate the case-study sweep only")
+	arch := flag.Bool("arch", false, "regenerate the architecture comparison only")
+	abl := flag.Bool("ablation", false, "regenerate the strict-emission accuracy ablation only")
+	quant := flag.Bool("quantiles", false, "regenerate the median-tracker comparison only")
+	reps := flag.Int("reps", 20, "repetitions for Table 3 (paper uses 20)")
+	runs := flag.Int("runs", 3, "runs per case-study and architecture configuration")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	all := !*t2 && !*t3 && !*res && !*cs && !*arch && !*abl && !*quant
+
+	if all || *t2 {
+		fmt.Println("== Table 2: square root approximation error ==")
+		fmt.Println("(exhaustive over every integer in each range)")
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+		fmt.Println("\n(operands sampled from a frequency-tracking workload's variances)")
+		fmt.Print(experiments.FormatTable2(experiments.Table2Workload(200000, *seed)))
+		fmt.Println("\n(ablation: mantissa-rounding variant, exhaustive)")
+		fmt.Print(experiments.FormatTable2(experiments.Table2Rounding()))
+		fmt.Println()
+	}
+
+	if all || *t3 {
+		fmt.Printf("== Table 3: median estimation error (%d repetitions) ==\n", *reps)
+		fmt.Print(experiments.FormatTable3(experiments.Table3(*reps, *seed)))
+		fmt.Println()
+	}
+
+	if all || *res {
+		fmt.Println("== Section 4: resource consumption ==")
+		fmt.Print(experiments.FormatResources(experiments.Resources()))
+		fmt.Println()
+	}
+
+	if all || *cs {
+		fmt.Printf("== Section 4: case-study sweep (%d runs per configuration) ==\n", *runs)
+		rows, err := experiments.CaseStudySweep(*runs, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatCaseStudySweep(rows))
+		fmt.Println("paper: spike detected in the first interval in all runs; destination")
+		fmt.Println("pinpointed correctly; pinpointing typically takes 2-3 seconds")
+		fmt.Println()
+	}
+
+	if all || *quant {
+		fmt.Println("== Median tracking: Stat4 one-step marker vs P2 (software baseline) ==")
+		fmt.Print(experiments.FormatQuantiles(experiments.QuantileComparison(1000, 20000, *seed)))
+		fmt.Println()
+	}
+
+	if all || *abl {
+		fmt.Println("== Ablation: multiplication-free (strict) emission accuracy ==")
+		rows := experiments.StrictAccuracy(20000, *seed)
+		e, st := experiments.StrictDetectionAgreement(*runs, *seed)
+		fmt.Print(experiments.FormatStrictAccuracy(rows, e, st, *runs))
+		fmt.Println()
+	}
+
+	if all || *arch {
+		fmt.Printf("== Figure 1 (quantified): sketch-only pull vs in-switch push (%d runs) ==\n", *runs)
+		rows, err := experiments.ArchComparison(experiments.ArchParams{Runs: *runs, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatArch(rows))
+	}
+}

@@ -1,0 +1,27 @@
+// Package stat4 is a from-scratch Go reproduction of "Stats 101 in P4:
+// Towards In-Switch Anomaly Detection" (Gao, Handley, Vissicchio —
+// HotNets '21): the Stat4 library of integer-only online statistics for
+// programmable data planes, together with every substrate its evaluation
+// needs — a P4-style switch simulator, a packet model, traffic generators, a
+// discrete-event network, a drill-down controller and a sketch-only baseline.
+//
+// Layout:
+//
+//	internal/intstat   integer primitives (Figure 2 sqrt, MSB, shift-multiply)
+//	internal/core      the Stat4 reference library (moments, percentiles, windows)
+//	internal/p4        the P4-style switch simulator and static analyzer
+//	internal/stat4p4   the Stat4 → P4 emitter, runtime API and echo app
+//	internal/packet    Ethernet/IPv4/TCP/UDP + echo header
+//	internal/traffic   seeded workload generators
+//	internal/netem     discrete-event network simulator
+//	internal/controller the case-study drill-down controller
+//	internal/sketch    the pull-based (Figure 1b) baseline
+//	internal/experiments harnesses regenerating every table and figure
+//	cmd/...            stat4-echo, stat4-casestudy, stat4-tables
+//	examples/...       quickstart, synflood, loadbalance, trafficclass
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each table/figure under `go
+// test -bench`.
+package stat4

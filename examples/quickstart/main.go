@@ -1,0 +1,53 @@
+// Quickstart: the Stat4 reference library in ~60 lines. Track a frequency
+// distribution of values of interest, read its integer-only statistical
+// measures (scaled mean, variance, approximate standard deviation, online
+// median), and run the paper's outlier check — no division, no floats.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stat4/internal/core"
+)
+
+func main() {
+	// A distribution over values 0..99 — say, packets per destination.
+	dist := core.NewFreqDist(100)
+	median := dist.TrackMedian()
+	p90 := dist.TrackPercentile(9, 1) // low:high mass ratio 9:1
+
+	// Feed it a normal-ish workload centred at 50.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64()*8 + 50
+		if v < 0 {
+			v = 0
+		}
+		if v > 99 {
+			v = 99
+		}
+		if err := dist.Observe(uint64(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := dist.Moments()
+	fmt.Println("Stat4 tracks the scaled distribution NX, so no division is needed:")
+	fmt.Printf("  N (distinct values)  = %d\n", m.N)
+	fmt.Printf("  Xsum  (= mean of NX) = %d\n", m.Mean())
+	fmt.Printf("  Xsumsq               = %d\n", m.Sumsq)
+	fmt.Printf("  var(NX) = N*Xsumsq - Xsum^2 = %d\n", m.Variance())
+	fmt.Printf("  sd(NX)  (approx sqrt)       = %d\n", m.StdDev())
+	fmt.Printf("  median marker = %d, 90th percentile marker = %d\n", median.Value(), p90.Value())
+
+	// The outlier test compares in NX space: is a counter k sigma above
+	// the mean frequency?
+	typical := dist.Freq(50)
+	fmt.Printf("\noutlier check at 2 sigma:\n")
+	fmt.Printf("  counter at value 50 (freq %4d): outlier = %v\n",
+		typical, m.IsOutlierAbove(typical, 2))
+	fmt.Printf("  hypothetical hot counter (%4d): outlier = %v\n",
+		typical*5, m.IsOutlierAbove(typical*5, 2))
+}

@@ -1,0 +1,70 @@
+// SYN-flood detection (Table 1, row 3): the switch tracks the rate of
+// connection-attempt SYNs per time interval in a circular window, checks
+// each completed interval against mean + 2 sigma, and pushes an alert digest
+// the moment a flood begins — entirely in the data plane.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stat4/internal/netem"
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+	"stat4/internal/traffic"
+)
+
+func main() {
+	const (
+		intShift = 23 // ~8.4 ms intervals
+		window   = 50
+	)
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1})
+	rt, err := stat4p4.NewRuntime(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bind the window to SYN packets only: the binding table matches the
+	// parser's tcp.syn bit, so data packets don't touch the distribution.
+	// k = 3 sigma: SYN arrivals from short web flows are bursty, so the
+	// 2-sigma threshold of the smooth case study would false-alarm here.
+	server := packet.NewPrefix(packet.ParseIP4(10, 0, 1, 0), 24)
+	if _, err := rt.BindWindow(0, 0, stat4p4.SynTo(server), intShift, window, 3); err != nil {
+		log.Fatal(err)
+	}
+
+	sim := netem.NewSim()
+	node := netem.NewSwitchNode(sim, rt.Switch(), 1e6 /* 1 ms to controller */)
+
+	// Ignore alerts until the window has filled: with only a few stored
+	// intervals the variance estimate is noisy (the case-study controller
+	// does the same).
+	const warmup = (window + 5) << intShift
+	var alerts []uint64
+	node.OnDigest = func(now uint64, d p4.Digest) {
+		if d.ID == stat4p4.DigestAnomaly && d.Values[4] >= warmup {
+			alerts = append(alerts, d.Values[4]) // switch timestamp
+		}
+	}
+
+	// Background web traffic (SYN:data about 1:8) plus a flood that starts
+	// at t = 1 s.
+	const floodStart = 1e9
+	dests := []packet.IP4{packet.ParseIP4(10, 0, 1, 6)}
+	web := &traffic.WebMix{Dests: dests, Rate: 80000, End: 2e9, Seed: 1}
+	flood := &traffic.SynFlood{Dest: dests[0], Rate: 400000, Start: floodStart, End: 2e9, Seed: 2}
+	node.InjectStream(traffic.Merge(web, flood), 1)
+	sim.Run()
+
+	m, _ := rt.ReadMoments(0)
+	fmt.Printf("SYN-rate window after the run: N=%d mean(NX)=%d sd=%d\n", m.N, m.Xsum, m.SD)
+	if len(alerts) == 0 {
+		fmt.Println("no flood detected — something is wrong")
+		return
+	}
+	first := alerts[0]
+	fmt.Printf("flood started at %.3fs; first in-switch alert at %.3fs (%.1fms after onset)\n",
+		floodStart/1e9, float64(first)/1e9, (float64(first)-floodStart)/1e6)
+	fmt.Printf("%d alert digests pushed to the controller in total\n", len(alerts))
+}

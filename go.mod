@@ -1,0 +1,3 @@
+module stat4
+
+go 1.22

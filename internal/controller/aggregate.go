@@ -1,0 +1,87 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"stat4/internal/core"
+	"stat4/internal/stat4p4"
+)
+
+// This file implements the Section 5 direction of "performing statistical
+// analyses across multiple switches": the controller combines the
+// distributions maintained by several Stat4 switches into network-wide
+// measures. Two cases have different mathematics:
+//
+//   - Disjoint populations (each switch tracks different values of interest,
+//     e.g. per-rack time-series): the combined distribution is the
+//     concatenation, so N, Xsum and Xsumsq — and therefore variance and the
+//     outlier threshold — add directly. Only the tiny metadata registers
+//     cross the network.
+//
+//   - Shared populations (the same value can be observed at several
+//     switches, e.g. per-destination counters on redundant paths): the
+//     per-value counters must be added before the moments are recomputed,
+//     because Σ(f1+f2)² ≠ Σf1² + Σf2². This needs the counter arrays, i.e.
+//     a sketch-style pull — the hybrid the paper's Section 5 envisions,
+//     triggered only when cross-switch analysis is actually wanted.
+
+// ErrShape is returned when merge inputs disagree on their domains.
+var ErrShape = errors.New("controller: mismatched distribution shapes")
+
+// MergeDisjoint combines moments of distributions over disjoint populations
+// by concatenation.
+func MergeDisjoint(ms ...stat4p4.Moments) core.Moments {
+	var n, sum, sumsq uint64
+	for _, m := range ms {
+		n += m.N
+		sum += m.Xsum
+		sumsq += m.Xsumsq
+	}
+	return core.NewMoments(n, sum, sumsq)
+}
+
+// MergeShared combines same-domain frequency counter arrays by per-value
+// addition and returns the merged counters with their recomputed moments.
+func MergeShared(counterSets ...[]uint64) ([]uint64, core.Moments, error) {
+	if len(counterSets) == 0 {
+		return nil, core.Moments{}, fmt.Errorf("%w: no inputs", ErrShape)
+	}
+	size := len(counterSets[0])
+	for i, cs := range counterSets {
+		if len(cs) != size {
+			return nil, core.Moments{}, fmt.Errorf("%w: input %d has %d cells, want %d",
+				ErrShape, i, len(cs), size)
+		}
+	}
+	merged := make([]uint64, size)
+	for _, cs := range counterSets {
+		for v, f := range cs {
+			merged[v] += f
+		}
+	}
+	var n, sum, sumsq uint64
+	for _, f := range merged {
+		if f == 0 {
+			continue
+		}
+		n++
+		sum += f
+		sumsq += f * f
+	}
+	return merged, core.NewMoments(n, sum, sumsq), nil
+}
+
+// PullShared reads the same slot's counters from several runtimes and merges
+// them — the controller-side convenience for MergeShared.
+func PullShared(slot, size int, rts ...*stat4p4.Runtime) ([]uint64, core.Moments, error) {
+	sets := make([][]uint64, 0, len(rts))
+	for _, rt := range rts {
+		cs, err := rt.ReadCounters(slot, size)
+		if err != nil {
+			return nil, core.Moments{}, err
+		}
+		sets = append(sets, cs)
+	}
+	return MergeShared(sets...)
+}

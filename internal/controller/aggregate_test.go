@@ -1,0 +1,115 @@
+package controller
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stat4/internal/core"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+)
+
+// TestMergeSharedEqualsSingleSwitch splits one traffic stream across two
+// switches tracking the same per-destination distribution; the merged
+// counters and moments must equal a third switch that saw everything.
+func TestMergeSharedEqualsSingleSwitch(t *testing.T) {
+	mk := func() *stat4p4.Runtime {
+		rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 0, 0, 64, 1, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	a, b, all := mk(), mk(), mk()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		f := packet.NewUDPFrame(1, packet.IP4(rng.Intn(64)), 5, 80, 10)
+		if rng.Intn(2) == 0 {
+			a.Switch().ProcessPacket(uint64(i), 1, f)
+		} else {
+			b.Switch().ProcessPacket(uint64(i), 1, f)
+		}
+		all.Switch().ProcessPacket(uint64(i), 1, f)
+	}
+
+	merged, m, err := PullShared(0, 64, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := all.ReadCounters(0, 64)
+	for v := range want {
+		if merged[v] != want[v] {
+			t.Fatalf("merged[%d] = %d, single switch %d", v, merged[v], want[v])
+		}
+	}
+	wm, _ := all.ReadMoments(0)
+	if m.N != wm.N || m.Sum != wm.Xsum || m.Sumsq != wm.Xsumsq {
+		t.Fatalf("merged moments (%d,%d,%d), single switch (%d,%d,%d)",
+			m.N, m.Sum, m.Sumsq, wm.N, wm.Xsum, wm.Xsumsq)
+	}
+	// Derived measures work on the merged result.
+	if m.Variance() == 0 && m.N > 1 {
+		t.Log("note: zero variance on random counters is unlikely")
+	}
+}
+
+// TestMergeDisjointEqualsConcatenation: moments of disjoint populations add;
+// the merged variance equals a from-scratch computation over the
+// concatenated samples.
+func TestMergeDisjointEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var refAll core.Moments
+	var parts []stat4p4.Moments
+	for s := 0; s < 3; s++ {
+		var ref core.Moments
+		for i := 0; i < 100; i++ {
+			x := uint64(rng.Intn(1000))
+			ref.AddSample(x)
+			refAll.AddSample(x)
+		}
+		parts = append(parts, stat4p4.Moments{N: ref.N, Xsum: ref.Sum, Xsumsq: ref.Sumsq})
+	}
+	merged := MergeDisjoint(parts...)
+	if merged.N != refAll.N || merged.Sum != refAll.Sum || merged.Sumsq != refAll.Sumsq {
+		t.Fatalf("merged (%d,%d,%d), want (%d,%d,%d)",
+			merged.N, merged.Sum, merged.Sumsq, refAll.N, refAll.Sum, refAll.Sumsq)
+	}
+	if merged.Variance() != refAll.Variance() || merged.StdDev() != refAll.StdDev() {
+		t.Fatal("derived measures diverge after disjoint merge")
+	}
+}
+
+// TestMergeSharedIsNotMomentAddition documents why shared populations need
+// counter merging: adding the moments directly gives the wrong Xsumsq.
+func TestMergeSharedIsNotMomentAddition(t *testing.T) {
+	// Switch A and B both see value 0 twice.
+	a := []uint64{2, 0}
+	b := []uint64{2, 0}
+	_, m, err := MergeShared(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sumsq != 16 { // (2+2)²
+		t.Fatalf("merged Xsumsq = %d, want 16", m.Sumsq)
+	}
+	naive := MergeDisjoint(
+		stat4p4.Moments{N: 1, Xsum: 2, Xsumsq: 4},
+		stat4p4.Moments{N: 1, Xsum: 2, Xsumsq: 4},
+	)
+	if naive.Sumsq == m.Sumsq {
+		t.Fatal("moment addition accidentally matched counter merging; test is vacuous")
+	}
+}
+
+func TestMergeSharedShapeErrors(t *testing.T) {
+	if _, _, err := MergeShared(); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty merge: %v", err)
+	}
+	if _, _, err := MergeShared([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("mismatched merge: %v", err)
+	}
+}

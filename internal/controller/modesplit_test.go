@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"stat4/internal/core"
+	"stat4/internal/traffic"
+)
+
+// histFrom builds a histogram by sampling a value stream.
+func histFrom(vs traffic.ValueStream, size, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	hist := make([]uint64, size)
+	for i := 0; i < n; i++ {
+		v := vs(rng)
+		if v < uint64(size) {
+			hist[v]++
+		}
+	}
+	return hist
+}
+
+func TestSplitThresholdSeparatesModes(t *testing.T) {
+	hist := histFrom(traffic.BimodalValues(30, 170, 10, 0.5, 255), 256, 50000, 1)
+	split, explained := SplitThreshold(hist)
+	if split < 60 || split > 140 {
+		t.Fatalf("split at %d, want between the modes (30 and 170)", split)
+	}
+	if explained < 0.9 {
+		t.Fatalf("explained variance %.2f, want ≥0.9 for well-separated modes", explained)
+	}
+}
+
+func TestIsBimodal(t *testing.T) {
+	bimodal := histFrom(traffic.BimodalValues(30, 170, 10, 0.5, 255), 256, 50000, 2)
+	if !IsBimodal(bimodal, 0) {
+		t.Fatal("bimodal histogram not recognised")
+	}
+	unimodal := histFrom(traffic.NormalValues(100, 15, 255), 256, 50000, 3)
+	if IsBimodal(unimodal, 0) {
+		t.Fatal("normal histogram called bimodal")
+	}
+	uniform := histFrom(traffic.UniformValues(256), 256, 50000, 4)
+	if IsBimodal(uniform, 0) {
+		t.Fatal("uniform histogram called bimodal")
+	}
+	// A lopsided mixture (95/5) is not worth splitting.
+	lopsided := histFrom(traffic.BimodalValues(30, 170, 10, 0.96, 255), 256, 50000, 5)
+	if IsBimodal(lopsided, 0) {
+		t.Fatal("negligible second mode triggered a split")
+	}
+}
+
+func TestPlanModeSplit(t *testing.T) {
+	const base = 1000
+	hist := histFrom(traffic.BimodalValues(40, 200, 8, 0.5, 255), 256, 50000, 6)
+	modes, ok := PlanModeSplit(hist, base)
+	if !ok {
+		t.Fatal("no plan for a bimodal histogram")
+	}
+	// Each plan must cover its mode's centre, translated by the base.
+	if base+40 < modes[0].Base || base+40 >= modes[0].Base+uint64(modes[0].Size) {
+		t.Fatalf("low mode plan %+v does not cover value %d", modes[0], base+40)
+	}
+	if base+200 < modes[1].Base || base+200 >= modes[1].Base+uint64(modes[1].Size) {
+		t.Fatalf("high mode plan %+v does not cover value %d", modes[1], base+200)
+	}
+	// The plans must be disjoint and each much smaller than the original
+	// domain (that is the point of splitting).
+	if modes[0].Base+uint64(modes[0].Size) > modes[1].Base {
+		t.Fatalf("plans overlap: %+v %+v", modes[0], modes[1])
+	}
+	if modes[0].Size > 160 || modes[1].Size > 160 {
+		t.Fatalf("plans not tighter than the 256-value domain: %+v %+v", modes[0], modes[1])
+	}
+	if modes[0].Mass == 0 || modes[1].Mass == 0 {
+		t.Fatal("plan masses not recorded")
+	}
+
+	if _, ok := PlanModeSplit(histFrom(traffic.NormalValues(100, 15, 255), 256, 50000, 7), 0); ok {
+		t.Fatal("plan produced for a unimodal histogram")
+	}
+}
+
+// TestModeSplitImprovesDetection is the payoff: with the modes tracked
+// separately, a value between the modes is an outlier for both; tracked
+// jointly it sits near the global mean and is invisible.
+func TestModeSplitImprovesDetection(t *testing.T) {
+	vs := traffic.BimodalValues(30, 170, 8, 0.5, 255)
+	rng := rand.New(rand.NewSource(8))
+
+	joint := core.NewFreqDist(256)
+	for i := 0; i < 50000; i++ {
+		if err := joint.Observe(vs(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	modes, ok := PlanModeSplit(joint.Frequencies(), 0)
+	if !ok {
+		t.Fatal("not bimodal")
+	}
+
+	// Rebuild the two per-mode distributions from the same traffic.
+	lo := core.NewFreqDist(modes[0].Size)
+	hi := core.NewFreqDist(modes[1].Size)
+	rng = rand.New(rand.NewSource(8))
+	for i := 0; i < 50000; i++ {
+		v := vs(rng)
+		switch {
+		case v >= modes[0].Base && v < modes[0].Base+uint64(modes[0].Size):
+			if err := lo.Observe(v - modes[0].Base); err != nil {
+				t.Fatal(err)
+			}
+		case v >= modes[1].Base && v < modes[1].Base+uint64(modes[1].Size):
+			if err := hi.Observe(v - modes[1].Base); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A burst of values at 100 — between the modes — is anomalous.
+	// Per-mode medians sit at their mode centres, while the joint
+	// distribution's moments are dominated by the inter-mode spread.
+	loMed := core.NewFreqDist(modes[0].Size)
+	_ = loMed
+	jointSD := joint.Moments().StdDev()
+	loSD := lo.Moments().StdDev()
+	hiSD := hi.Moments().StdDev()
+	// Splitting must dramatically reduce the scaled spread each checker
+	// works with, which is what restores sensitivity.
+	if loSD >= jointSD || hiSD >= jointSD {
+		t.Fatalf("per-mode sd (%d, %d) not below joint sd %d", loSD, hiSD, jointSD)
+	}
+}

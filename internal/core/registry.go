@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config mirrors the two compiler macros that size the P4 library's register
+// arrays: CounterNum bounds how many distributions can be tracked
+// simultaneously (STAT_COUNTER_NUM) and CounterSize bounds the number of
+// counter cells per distribution (STAT_COUNTER_SIZE).
+type Config struct {
+	CounterNum  int
+	CounterSize int
+}
+
+// DefaultConfig matches the case-study application's defaults: up to 8
+// simultaneous distributions of up to 256 cells each.
+var DefaultConfig = Config{CounterNum: 8, CounterSize: 256}
+
+// ErrRegistryFull is returned when every distribution slot is in use.
+var ErrRegistryFull = errors.New("core: all distribution slots in use")
+
+// ErrTooLarge is returned when a requested distribution exceeds CounterSize.
+var ErrTooLarge = errors.New("core: distribution exceeds configured counter size")
+
+// ErrNotFound is returned when looking up a distribution name that is not
+// currently tracked.
+var ErrNotFound = errors.New("core: no such distribution")
+
+// Kind identifies the update semantics of a tracked distribution.
+type Kind int
+
+// Distribution kinds.
+const (
+	KindFrequency Kind = iota // counters indexed by value, N = distinct values
+	KindSample                // one counter per sample, N = sample count
+	KindWindow                // circular buffer over time intervals
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindFrequency:
+		return "frequency"
+	case KindSample:
+		return "sample"
+	case KindWindow:
+		return "window"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Instance is one tracked distribution in a Registry. Exactly one of Freq,
+// Sample or Win is non-nil, matching Kind.
+type Instance struct {
+	Name   string
+	Kind   Kind
+	Freq   *FreqDist
+	Sample *SampleDist
+	Win    *Window
+}
+
+// Cells returns the number of counter cells the instance occupies.
+func (in *Instance) Cells() int {
+	switch in.Kind {
+	case KindFrequency:
+		return in.Freq.Size()
+	case KindSample:
+		return in.Sample.Capacity()
+	case KindWindow:
+		// Window keeps a squared shadow per cell.
+		return 2 * in.Win.Capacity()
+	default:
+		return 0
+	}
+}
+
+// Moments returns the instance's moments regardless of kind.
+func (in *Instance) Moments() *Moments {
+	switch in.Kind {
+	case KindFrequency:
+		return in.Freq.Moments()
+	case KindSample:
+		return in.Sample.Moments()
+	case KindWindow:
+		return in.Win.Moments()
+	default:
+		return nil
+	}
+}
+
+// Registry manages the set of simultaneously tracked distributions under a
+// Config's resource limits, and supports adding and removing distributions at
+// runtime — the library's "runtime tuning of values of interest" without
+// recompilation. It is safe for concurrent use so a controller goroutine can
+// retune while the data path observes.
+type Registry struct {
+	mu   sync.RWMutex
+	cfg  Config
+	byNm map[string]*Instance
+}
+
+// NewRegistry returns an empty registry under the given limits. A zero
+// Config falls back to DefaultConfig values field by field.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.CounterNum <= 0 {
+		cfg.CounterNum = DefaultConfig.CounterNum
+	}
+	if cfg.CounterSize <= 0 {
+		cfg.CounterSize = DefaultConfig.CounterSize
+	}
+	return &Registry{cfg: cfg, byNm: make(map[string]*Instance)}
+}
+
+// Config returns the registry's resource limits.
+func (r *Registry) Config() Config { return r.cfg }
+
+func (r *Registry) reserve(name string, cells int) error {
+	if len(r.byNm) >= r.cfg.CounterNum {
+		return fmt.Errorf("%w (%d)", ErrRegistryFull, r.cfg.CounterNum)
+	}
+	if cells > r.cfg.CounterSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, cells, r.cfg.CounterSize)
+	}
+	if _, dup := r.byNm[name]; dup {
+		return fmt.Errorf("core: distribution %q already tracked", name)
+	}
+	return nil
+}
+
+// CreateFrequency starts tracking a frequency distribution over [0, size).
+func (r *Registry) CreateFrequency(name string, size int) (*FreqDist, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.reserve(name, size); err != nil {
+		return nil, err
+	}
+	d := NewFreqDist(size)
+	r.byNm[name] = &Instance{Name: name, Kind: KindFrequency, Freq: d}
+	return d, nil
+}
+
+// CreateSample starts tracking a sample distribution with the given capacity.
+func (r *Registry) CreateSample(name string, capacity int) (*SampleDist, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.reserve(name, capacity); err != nil {
+		return nil, err
+	}
+	d := NewSampleDist(capacity)
+	r.byNm[name] = &Instance{Name: name, Kind: KindSample, Sample: d}
+	return d, nil
+}
+
+// CreateWindow starts tracking a circular window over the given number of
+// intervals.
+func (r *Registry) CreateWindow(name string, intervals int) (*Window, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.reserve(name, 2*intervals); err != nil {
+		return nil, err
+	}
+	w := NewWindow(intervals)
+	r.byNm[name] = &Instance{Name: name, Kind: KindWindow, Win: w}
+	return w, nil
+}
+
+// Remove stops tracking a distribution, freeing its slot for runtime
+// retuning.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byNm[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.byNm, name)
+	return nil
+}
+
+// Get returns the named instance.
+func (r *Registry) Get(name string) (*Instance, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	in, ok := r.byNm[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return in, nil
+}
+
+// Names returns the tracked distribution names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byNm))
+	for n := range r.byNm {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CellsInUse returns the total number of counter cells currently allocated,
+// the registry's contribution to the resource report.
+func (r *Registry) CellsInUse() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, in := range r.byNm {
+		total += in.Cells()
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestRegistryLimits(t *testing.T) {
+	r := NewRegistry(Config{CounterNum: 2, CounterSize: 16})
+	if _, err := r.CreateFrequency("a", 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateFrequency("b", 17); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized create: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := r.CreateSample("b", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateWindow("c", 4); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("third create: err = %v, want ErrRegistryFull", err)
+	}
+}
+
+func TestRegistryRuntimeRetuning(t *testing.T) {
+	// The SYN-flood scenario from Section 3: drop general rate tracking to
+	// make room for per-target tracking, at runtime.
+	r := NewRegistry(Config{CounterNum: 2, CounterSize: 256})
+	if _, err := r.CreateWindow("rate", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateFrequency("syn-by-dst", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("rate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateFrequency("syn-by-port", 128); err != nil {
+		t.Fatalf("retuning after Remove failed: %v", err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "syn-by-dst" || names[1] != "syn-by-port" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryDuplicateName(t *testing.T) {
+	r := NewRegistry(Config{})
+	if _, err := r.CreateFrequency("x", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateSample("x", 4); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestRegistryGetAndCells(t *testing.T) {
+	r := NewRegistry(Config{CounterNum: 4, CounterSize: 256})
+	if _, err := r.CreateFrequency("f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateWindow("w", 50); err != nil {
+		t.Fatal(err)
+	}
+	in, err := r.Get("f")
+	if err != nil || in.Kind != KindFrequency || in.Cells() != 100 {
+		t.Fatalf("Get(f) = %+v, %v", in, err)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(nope) err = %v", err)
+	}
+	// Window counts its squared shadow: 2×50 + 100 = 200.
+	if got := r.CellsInUse(); got != 200 {
+		t.Fatalf("CellsInUse = %d, want 200", got)
+	}
+	if err := r.Remove("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove(nope) err = %v", err)
+	}
+}
+
+func TestRegistryConcurrentRetuning(t *testing.T) {
+	// A controller goroutine retunes while others read; run with -race.
+	r := NewRegistry(Config{CounterNum: 64, CounterSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			for i := 0; i < 200; i++ {
+				if _, err := r.CreateFrequency(name, 8); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				_, _ = r.Get(name)
+				_ = r.Names()
+				_ = r.CellsInUse()
+				if err := r.Remove(name); err != nil {
+					t.Errorf("remove: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInstanceMoments(t *testing.T) {
+	r := NewRegistry(Config{})
+	f, _ := r.CreateFrequency("f", 8)
+	if err := f.Observe(3); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := r.Get("f")
+	if in.Moments().Sum != 1 {
+		t.Fatal("Instance.Moments not wired to the live distribution")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFrequency.String() != "frequency" || KindSample.String() != "sample" ||
+		KindWindow.String() != "window" || Kind(9).String() != "Kind(9)" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestRegistryConfigAndInstanceCells(t *testing.T) {
+	r := NewRegistry(Config{CounterNum: 3, CounterSize: 100})
+	if got := r.Config(); got.CounterNum != 3 || got.CounterSize != 100 {
+		t.Fatalf("Config = %+v", got)
+	}
+	s, _ := r.CreateSample("s", 10)
+	if err := s.Observe(2); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := r.CreateWindow("w", 20)
+	w.Add(1)
+	w.Tick()
+	for _, name := range []string{"s", "w"} {
+		in, err := r.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Cells() == 0 || in.Moments() == nil {
+			t.Fatalf("instance %q accessors broken", name)
+		}
+	}
+	bad := &Instance{Kind: Kind(7)}
+	if bad.Cells() != 0 || bad.Moments() != nil {
+		t.Fatal("unknown kind not degenerate")
+	}
+}

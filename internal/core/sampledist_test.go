@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"stat4/internal/baseline"
+)
+
+func TestSampleDistObserve(t *testing.T) {
+	d := NewSampleDist(8)
+	xs := []uint64{4, 9, 4, 25}
+	for _, x := range xs {
+		if err := d.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, sum, sumsq := baseline.Moments(xs)
+	m := d.Moments()
+	if m.N != n || m.Sum != sum || m.Sumsq != sumsq {
+		t.Fatalf("moments (%d,%d,%d), want (%d,%d,%d)", m.N, m.Sum, m.Sumsq, n, sum, sumsq)
+	}
+	if d.Len() != 4 || d.Capacity() != 8 {
+		t.Fatalf("Len/Capacity = %d/%d", d.Len(), d.Capacity())
+	}
+}
+
+func TestSampleDistFull(t *testing.T) {
+	d := NewSampleDist(2)
+	if err := d.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Observe(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Observe(3); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Observe err = %v, want ErrFull", err)
+	}
+}
+
+func TestSampleDistAddAt(t *testing.T) {
+	// Per-subnet byte counters: one sample per /24, grown in place.
+	d := NewSampleDist(6)
+	for i := 0; i < 6; i++ {
+		if err := d.Observe(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.AddAt(2, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddAt(2, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddAt(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 2000, 0, 0, 100}
+	n, sum, sumsq := baseline.Moments(want)
+	m := d.Moments()
+	if m.N != n || m.Sum != sum || m.Sumsq != sumsq {
+		t.Fatalf("moments (%d,%d,%d), want (%d,%d,%d)", m.N, m.Sum, m.Sumsq, n, sum, sumsq)
+	}
+	if err := d.AddAt(6, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("AddAt(6) err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.AddAt(-1, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("AddAt(-1) err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestSampleDistImbalanceDetection(t *testing.T) {
+	// Load balancing use case (Table 1): traffic across 6 subnets, one hot.
+	d := NewSampleDist(6)
+	for i := 0; i < 6; i++ {
+		if err := d.Observe(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := d.AddAt(i, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := d.Moments()
+	if m.IsOutlierAbove(1000, 2) {
+		t.Fatal("balanced subnet flagged as hot")
+	}
+	if err := d.AddAt(3, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsOutlierAbove(6000, 2) {
+		t.Fatal("hot subnet not flagged")
+	}
+}
+
+func TestSampleDistReset(t *testing.T) {
+	d := NewSampleDist(4)
+	if err := d.Observe(7); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	if d.Len() != 0 || d.Moments().N != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if len(d.Samples()) != 0 {
+		t.Fatal("Samples not empty after Reset")
+	}
+}
+
+func TestNewSampleDistPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampleDist(-1) did not panic")
+		}
+	}()
+	NewSampleDist(-1)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stat4/internal/p4"
+)
+
+// ErrSparseFull is returned when every candidate bucket for a key is
+// occupied by other keys.
+var ErrSparseFull = errors.New("core: no free bucket for key")
+
+// SparseFreqDist is the Section 5 extension the paper sketches: a frequency
+// distribution that does not reserve a counter per possible value but hashes
+// keys into a fixed bucket table ("techniques to avoid reserving memory for
+// non-observed values (e.g., using hash-tables similarly to [23]) …
+// especially beneficial for sparse distributions"). Each key probes `ways`
+// buckets (multiply-shift hashes, the kind a switch's hash units provide)
+// and claims the first free one; the moments are maintained over bucket
+// counts exactly like FreqDist's, so mean/variance/σ and the outlier check
+// work unchanged.
+//
+// What is lost relative to FreqDist is value ordering: buckets are in hash
+// order, so the Figure 3 percentile markers do not apply. What is gained is
+// memory proportional to the number of *observed* values — the benchmark
+// suite quantifies the trade on a 2^20-value domain with a few thousand
+// active keys.
+type SparseFreqDist struct {
+	keys   []uint64
+	counts []uint64
+	used   []bool
+	ways   int
+	m      Moments
+
+	// Rejected counts observations dropped because all candidate buckets
+	// were taken by other keys; the control plane reads it to decide the
+	// table is undersized.
+	Rejected uint64
+}
+
+// NewSparseFreqDist returns a sparse distribution with the given bucket
+// count and associativity (ways is clamped to [1, buckets]).
+func NewSparseFreqDist(buckets, ways int) *SparseFreqDist {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("core: non-positive sparse bucket count %d", buckets))
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > buckets {
+		ways = buckets
+	}
+	return &SparseFreqDist{
+		keys:   make([]uint64, buckets),
+		counts: make([]uint64, buckets),
+		used:   make([]bool, buckets),
+		ways:   ways,
+	}
+}
+
+// Buckets returns the bucket table size.
+func (d *SparseFreqDist) Buckets() int { return len(d.keys) }
+
+// Ways returns the probe associativity.
+func (d *SparseFreqDist) Ways() int { return d.ways }
+
+// Moments returns the distribution's scaled moments over bucket counts.
+func (d *SparseFreqDist) Moments() *Moments { return &d.m }
+
+// probe returns the bucket index for the w-th hash of key, using the same
+// hash family as the switch simulator's hash engine so the reference and the
+// emitted program place keys identically. Power-of-two tables mask (what a
+// P4 target does); other sizes reduce modulo.
+func (d *SparseFreqDist) probe(key uint64, w int) int {
+	h := p4.HashValue(w, key)
+	n := uint64(len(d.keys))
+	if n&(n-1) == 0 {
+		return int(h & (n - 1))
+	}
+	return int(h % n)
+}
+
+// locate finds the bucket holding key, or a free candidate, or neither.
+func (d *SparseFreqDist) locate(key uint64) (idx int, found bool, free int) {
+	free = -1
+	for w := 0; w < d.ways; w++ {
+		i := d.probe(key, w)
+		if d.used[i] && d.keys[i] == key {
+			return i, true, free
+		}
+		if !d.used[i] && free < 0 {
+			free = i
+		}
+	}
+	return -1, false, free
+}
+
+// Observe records one occurrence of key. When the key is new it claims a
+// free candidate bucket; with none available the observation is rejected and
+// counted, since silently aliasing two keys would corrupt the moments.
+func (d *SparseFreqDist) Observe(key uint64) error {
+	idx, found, free := d.locate(key)
+	if !found {
+		if free < 0 {
+			d.Rejected++
+			return fmt.Errorf("%w: %d (%d ways over %d buckets)", ErrSparseFull, key, d.ways, len(d.keys))
+		}
+		idx = free
+		d.used[idx] = true
+		d.keys[idx] = key
+	}
+	f := d.counts[idx]
+	d.m.AddFrequency(f, f == 0)
+	d.counts[idx] = f + 1
+	return nil
+}
+
+// Count returns the key's frequency (0 if never observed or rejected).
+func (d *SparseFreqDist) Count(key uint64) uint64 {
+	if idx, found, _ := d.locate(key); found {
+		return d.counts[idx]
+	}
+	return 0
+}
+
+// Active returns the number of occupied buckets (= distinct observed keys).
+func (d *SparseFreqDist) Active() int { return int(d.m.N) }
+
+// Each calls fn for every occupied bucket. Iteration order is hash order.
+func (d *SparseFreqDist) Each(fn func(key, count uint64)) {
+	for i, u := range d.used {
+		if u {
+			fn(d.keys[i], d.counts[i])
+		}
+	}
+}
+
+// Reset clears all buckets and moments.
+func (d *SparseFreqDist) Reset() {
+	for i := range d.keys {
+		d.keys[i], d.counts[i], d.used[i] = 0, 0, false
+	}
+	d.m.Reset()
+	d.Rejected = 0
+}
+
+// MemoryCells returns the state the distribution occupies, in register
+// cells: a key, a count and a valid bit per bucket (the valid bit rides in
+// the key register on a real target). Compare with a dense FreqDist's one
+// cell per possible value.
+func (d *SparseFreqDist) MemoryCells() int { return 2 * len(d.keys) }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseMatchesDenseOnSmallDomain(t *testing.T) {
+	// With plenty of buckets, the sparse distribution's moments must equal
+	// a dense FreqDist fed the same stream.
+	dense := NewFreqDist(64)
+	sparse := NewSparseFreqDist(1024, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.Intn(64))
+		if err := dense.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := sparse.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dm, sm := dense.Moments(), sparse.Moments()
+	if dm.N != sm.N || dm.Sum != sm.Sum || dm.Sumsq != sm.Sumsq {
+		t.Fatalf("sparse (%d,%d,%d) vs dense (%d,%d,%d)",
+			sm.N, sm.Sum, sm.Sumsq, dm.N, dm.Sum, dm.Sumsq)
+	}
+	if sparse.Rejected != 0 {
+		t.Fatalf("%d rejections with 16x headroom", sparse.Rejected)
+	}
+	for v := uint64(0); v < 64; v++ {
+		if sparse.Count(v) != dense.Freq(v) {
+			t.Fatalf("count(%d) = %d, dense %d", v, sparse.Count(v), dense.Freq(v))
+		}
+	}
+}
+
+func TestSparseHugeDomain(t *testing.T) {
+	// The whole point: a 2^32 key domain with 500 active keys fits in a
+	// 2048-bucket table. d-way probing is lossy by nature — at 25% load a
+	// 4-way probe rejects a fraction of a percent of keys — so the test
+	// asserts near-complete coverage plus exact bookkeeping of the rest.
+	d := NewSparseFreqDist(2048, 4)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64() & 0xffffffff
+	}
+	var accepted uint64
+	for i := 0; i < 50000; i++ {
+		if err := d.Observe(keys[rng.Intn(len(keys))]); err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrSparseFull) {
+			t.Fatal(err)
+		}
+	}
+	if d.Active() < 495 {
+		t.Fatalf("Active = %d, want ≥495 of 500", d.Active())
+	}
+	if accepted+d.Rejected != 50000 {
+		t.Fatalf("accepted %d + rejected %d != 50000", accepted, d.Rejected)
+	}
+	if d.Rejected > 50000/100 {
+		t.Fatalf("%d rejections (>1%%) at 25%% load with 4 ways", d.Rejected)
+	}
+	if d.Moments().Sum != accepted {
+		t.Fatalf("Xsum = %d, want %d", d.Moments().Sum, accepted)
+	}
+	if d.MemoryCells() != 4096 {
+		t.Fatalf("MemoryCells = %d", d.MemoryCells())
+	}
+}
+
+func TestSparseRejectsWhenFull(t *testing.T) {
+	d := NewSparseFreqDist(4, 2)
+	filled := 0
+	var rejected bool
+	for k := uint64(0); k < 64; k++ {
+		err := d.Observe(k)
+		switch {
+		case err == nil:
+			filled++
+		case errors.Is(err, ErrSparseFull):
+			rejected = true
+		default:
+			t.Fatal(err)
+		}
+	}
+	if !rejected {
+		t.Fatal("64 keys into 4 buckets never rejected")
+	}
+	if filled > 4 {
+		t.Fatalf("%d keys accepted into 4 buckets", filled)
+	}
+	if d.Rejected == 0 {
+		t.Fatal("rejections not counted")
+	}
+	// Established keys keep counting even when the table is full.
+	var anyKey uint64
+	d.Each(func(k, _ uint64) { anyKey = k })
+	before := d.Count(anyKey)
+	if err := d.Observe(anyKey); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(anyKey) != before+1 {
+		t.Fatal("established key stopped counting")
+	}
+}
+
+// TestSparseMomentsInvariant property: moments always equal the from-scratch
+// computation over the occupied buckets.
+func TestSparseMomentsInvariant(t *testing.T) {
+	f := func(raw []uint16) bool {
+		d := NewSparseFreqDist(256, 2)
+		for _, r := range raw {
+			_ = d.Observe(uint64(r % 512)) // rejections allowed
+		}
+		var n, sum, sumsq uint64
+		d.Each(func(_, c uint64) {
+			n++
+			sum += c
+			sumsq += c * c
+		})
+		m := d.Moments()
+		return m.N == n && m.Sum == sum && m.Sumsq == sumsq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseOutlierDetection(t *testing.T) {
+	// The load-balancing check works unchanged over hashed buckets.
+	d := NewSparseFreqDist(64, 2)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 8)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for round := 0; round < 500; round++ {
+		for _, k := range keys {
+			if err := d.Observe(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := d.Moments()
+	if m.IsOutlierAbove(d.Count(keys[0]), 2) {
+		t.Fatal("balanced key flagged")
+	}
+	for i := 0; i < 3000; i++ {
+		if err := d.Observe(keys[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.IsOutlierAbove(d.Count(keys[3]), 2) {
+		t.Fatal("hot key not flagged")
+	}
+}
+
+func TestSparseReset(t *testing.T) {
+	d := NewSparseFreqDist(16, 2)
+	if err := d.Observe(42); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	if d.Active() != 0 || d.Count(42) != 0 || d.Moments().Sum != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestSparseWaysClamping(t *testing.T) {
+	if d := NewSparseFreqDist(2, 8); d.Ways() != 2 {
+		t.Fatalf("ways = %d, want clamped to 2", d.Ways())
+	}
+	if d := NewSparseFreqDist(8, 0); d.Ways() != 1 {
+		t.Fatalf("ways = %d, want 1", d.Ways())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero buckets did not panic")
+		}
+	}()
+	NewSparseFreqDist(0, 1)
+}
+
+// TestSparseAssociativityHelps: with 2-way probing a near-full table accepts
+// more distinct keys than direct mapping.
+func TestSparseAssociativityHelps(t *testing.T) {
+	accepted := func(ways int) int {
+		d := NewSparseFreqDist(128, ways)
+		rng := rand.New(rand.NewSource(4))
+		n := 0
+		for i := 0; i < 128; i++ {
+			if d.Observe(rng.Uint64()) == nil {
+				n++
+			}
+		}
+		return n
+	}
+	oneWay, twoWay := accepted(1), accepted(2)
+	if twoWay <= oneWay {
+		t.Fatalf("2-way accepted %d, 1-way %d", twoWay, oneWay)
+	}
+}

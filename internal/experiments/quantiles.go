@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stat4/internal/baseline"
+	"stat4/internal/core"
+	"stat4/internal/traffic"
+)
+
+// QuantileRow compares one median tracker on one workload: the error of its
+// estimate against the exact running median (as a percentage of the value
+// domain, Table 3's metric) and the state it needs.
+type QuantileRow struct {
+	Workload   string
+	Tracker    string
+	MeanErrPct float64
+	MaxErrPct  float64
+	Cells      int // state in register cells (P² uses CPU floats: 15 words)
+}
+
+// QuantileComparison pits the paper's one-step median marker against the
+// classical P² estimator (software, floats, division — everything a switch
+// lacks) across workload shapes, including the zipfian case Section 5 calls
+// out as hard. Errors are sampled every domain/50 packets after a one-domain
+// warmup.
+func QuantileComparison(domain, packets int, seed int64) []QuantileRow {
+	workloads := []struct {
+		name string
+		vs   traffic.ValueStream
+	}{
+		{"uniform", traffic.UniformValues(uint64(domain))},
+		{"normal", traffic.NormalValues(float64(domain)/2, float64(domain)/8, uint64(domain-1))},
+		{"zipf-1.5", traffic.ZipfValues(1.5, uint64(domain), seed)},
+		{"bimodal", traffic.BimodalValues(float64(domain)/5, 4*float64(domain)/5, float64(domain)/20, 0.5, uint64(domain-1))},
+	}
+	var rows []QuantileRow
+	for _, w := range workloads {
+		rng := rand.New(rand.NewSource(seed))
+		dist := core.NewFreqDist(domain)
+		marker := dist.TrackMedian()
+		p2 := baseline.NewP2Quantile(0.5)
+
+		var markerErrs, p2Errs []float64
+		step := domain / 50
+		if step < 1 {
+			step = 1
+		}
+		for i := 1; i <= packets; i++ {
+			v := w.vs(rng)
+			if err := dist.Observe(v); err != nil {
+				panic(err)
+			}
+			p2.Add(float64(v))
+			if i < domain || i%step != 0 {
+				continue
+			}
+			exact := float64(baseline.ExactMedian(dist.Frequencies()))
+			markerErrs = append(markerErrs, math.Abs(float64(marker.Value())-exact)/float64(domain))
+			p2Errs = append(p2Errs, math.Abs(p2.Value()-exact)/float64(domain))
+		}
+		rows = append(rows,
+			quantileRow(w.name, "stat4-marker", markerErrs, domain),
+			quantileRow(w.name, "p2-software", p2Errs, 15),
+		)
+	}
+	return rows
+}
+
+func quantileRow(workload, tracker string, errs []float64, cells int) QuantileRow {
+	r := QuantileRow{Workload: workload, Tracker: tracker, Cells: cells}
+	for _, e := range errs {
+		r.MeanErrPct += e
+		if e > r.MaxErrPct {
+			r.MaxErrPct = e
+		}
+	}
+	if len(errs) > 0 {
+		r.MeanErrPct /= float64(len(errs))
+	}
+	r.MeanErrPct *= 100
+	r.MaxErrPct *= 100
+	return r
+}
+
+// FormatQuantiles renders the comparison.
+func FormatQuantiles(rows []QuantileRow) string {
+	out := "workload   tracker        mean err    max err    state cells\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-13s %7.2f%%  %8.2f%%   %8d\n",
+			r.Workload, r.Tracker, r.MeanErrPct, r.MaxErrPct, r.Cells)
+	}
+	out += "error = |estimate − exact running median| / domain, sampled after warmup;\n"
+	out += "the P² baseline uses floats and division (CPU-only); the Stat4 marker\n"
+	out += "trades counter memory for switch-legal arithmetic\n"
+	return out
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stat4/internal/p4"
+	"stat4/internal/stat4p4"
+)
+
+// ResourceRow pairs a named configuration with its static analysis.
+type ResourceRow struct {
+	Config string
+	Report p4.ResourceReport
+}
+
+// Resources regenerates the Section 4 resource-consumption evaluation over
+// the emitted Stat4 programs:
+//
+//   - "case-study" is sized like the paper's application (two distribution
+//     slots, 128 cells, 32-bit registers, small binding tables) and is the
+//     row to compare against the paper's 3.1 KB;
+//   - "override-only" isolates the circular-buffer override path, the
+//     paper's longest (12-step) chain, by dropping the variance/σ logic;
+//   - "default" and "strict" are the library's shipping configurations.
+func Resources() []ResourceRow {
+	cases := []struct {
+		name string
+		opts stat4p4.Options
+	}{
+		{"case-study", stat4p4.Options{Slots: 2, Size: 128, Stages: 2, CellWidth: 32, BindEntries: 8, FwdEntries: 8}},
+		{"override-only", stat4p4.Options{Slots: 2, Size: 128, Stages: 1, CellWidth: 32, BindEntries: 8, FwdEntries: 8, NoVariance: true}},
+		{"default", stat4p4.Options{Slots: 8, Size: 256, Stages: 2}},
+		{"default+echo", stat4p4.Options{Slots: 8, Size: 256, Stages: 2, Echo: true}},
+		{"strict", stat4p4.Options{Slots: 8, Size: 256, Stages: 2, Strict: true, StrictCapShift: 7}},
+	}
+	rows := make([]ResourceRow, 0, len(cases))
+	for _, c := range cases {
+		lib := stat4p4.Build(c.opts)
+		rows = append(rows, ResourceRow{Config: c.name, Report: p4.AnalyzeProgram(lib.Prog)})
+	}
+	return rows
+}
+
+// FormatResources renders the resource table with the paper's reference
+// points.
+func FormatResources(rows []ResourceRow) string {
+	out := "config          total     registers  tables   rule-deps  longest-chain\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %7.1fKB  %7.1fKB %7.1fKB  %6d     %6d\n",
+			r.Config,
+			float64(r.Report.TotalBytes)/1024,
+			float64(r.Report.RegisterBytes)/1024,
+			float64(r.Report.TableBytes)/1024,
+			r.Report.MatchRuleDependencies,
+			r.Report.LongestDepChain)
+	}
+	out += "paper: case-study app occupies 3.1KB, at most 1 dependency between\n"
+	out += "match-action rules, longest sequential chain 12 steps (buffer override)\n"
+	return out
+}

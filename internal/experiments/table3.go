@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stat4/internal/baseline"
+	"stat4/internal/core"
+)
+
+// Table3Row is one row of Table 3: the online median's estimation error for
+// a distribution of N elements, summarised separately before and after N/2
+// samples have arrived (the sparse and dense phases).
+type Table3Row struct {
+	N       int
+	UseCase string
+
+	BeforeP50, BeforeP90 float64
+	AfterP50, AfterP90   float64
+	Repetitions          int
+}
+
+// table3Cases mirrors the paper's three rows.
+var table3Cases = []struct {
+	n       int
+	useCase string
+}{
+	{100, "packet types"},
+	{1000, "per-ms traffic"},
+	{65536, "16-bit field"},
+}
+
+// Table3 regenerates Table 3: for each N, feed the one-step median tracker
+// with uniform values from [0, N), measure |marker − exact median| / N at
+// sampled points, and report the 50th/90th percentile of that error before
+// and after N/2 samples, over `reps` repetitions (the paper uses 20).
+func Table3(reps int, seed int64) []Table3Row {
+	rows := make([]Table3Row, 0, len(table3Cases))
+	for _, c := range table3Cases {
+		var before, after []float64
+		for rep := 0; rep < reps; rep++ {
+			b, a := table3Run(c.n, seed+int64(rep)*104729)
+			before = append(before, b...)
+			after = append(after, a...)
+		}
+		rows = append(rows, Table3Row{
+			N:           c.n,
+			UseCase:     c.useCase,
+			BeforeP50:   baseline.PercentileOf(before, 50),
+			BeforeP90:   baseline.PercentileOf(before, 90),
+			AfterP50:    baseline.PercentileOf(after, 50),
+			AfterP90:    baseline.PercentileOf(after, 90),
+			Repetitions: reps,
+		})
+	}
+	return rows
+}
+
+// table3Run drives one repetition: 4N uniform samples, with the error
+// evaluated at ~100 points per phase (an O(N) exact-median scan per point
+// keeps the harness tractable at N = 65536).
+func table3Run(n int, seed int64) (before, after []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	d := core.NewFreqDist(n)
+	med := d.TrackMedian()
+	total := 4 * n
+	step := n / 50
+	if step < 1 {
+		step = 1
+	}
+	for i := 1; i <= total; i++ {
+		if err := d.Observe(uint64(rng.Intn(n))); err != nil {
+			panic(err)
+		}
+		if i%step != 0 {
+			continue
+		}
+		exact := baseline.ExactMedian(d.Frequencies())
+		e := math.Abs(float64(med.Value())-float64(exact)) / float64(n)
+		if i <= n/2 {
+			before = append(before, e)
+		} else {
+			after = append(after, e)
+		}
+	}
+	return before, after
+}
+
+// PaperTable3 holds the published numbers for side-by-side reporting.
+var PaperTable3 = []Table3Row{
+	{N: 100, UseCase: "packet types", BeforeP50: 0.045, BeforeP90: 0.345, AfterP50: 0, AfterP90: 0.01},
+	{N: 1000, UseCase: "per-ms traffic", BeforeP50: 0.036, BeforeP90: 0.296, AfterP50: 0, AfterP90: 0.001},
+	{N: 65536, UseCase: "16-bit field", BeforeP50: 0.01, BeforeP90: 0.23, AfterP50: 0, AfterP90: 0.0001},
+}
+
+// FormatTable3 renders measured rows next to the paper's.
+func FormatTable3(rows []Table3Row) string {
+	out := "N      example use      before N/2 (50th/90th)   after N/2 (50th/90th)   paper before / after\n"
+	for i, r := range rows {
+		paper := ""
+		if i < len(PaperTable3) {
+			p := PaperTable3[i]
+			paper = fmt.Sprintf("%5.1f%%/%5.1f%%  %5.2f%%/%5.2f%%",
+				100*p.BeforeP50, 100*p.BeforeP90, 100*p.AfterP50, 100*p.AfterP90)
+		}
+		out += fmt.Sprintf("%-6d %-16s %8.1f%% /%6.1f%%        %8.2f%% /%6.2f%%       %s\n",
+			r.N, r.UseCase, 100*r.BeforeP50, 100*r.BeforeP90, 100*r.AfterP50, 100*r.AfterP90, paper)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package intstat
+
+import "testing"
+
+// FuzzSqrtApprox checks the core numeric invariants on arbitrary operands:
+// monotone comparisons against the exact root, order-of-magnitude
+// preservation, and agreement of all MSB layouts.
+func FuzzSqrtApprox(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(106))
+	f.Add(uint64(1) << 63)
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, y uint64) {
+		ap := SqrtApprox(y)
+		ex := SqrtExact(y)
+		if y == 0 {
+			if ap != 0 {
+				t.Fatalf("SqrtApprox(0) = %d", ap)
+			}
+			return
+		}
+		if ap > 2*ex || 2*ap < ex {
+			t.Fatalf("SqrtApprox(%d) = %d not within 2x of exact %d", y, ap, ex)
+		}
+		if MSBIfChain(y) != MSB(y) || MSBLinear(y) != MSB(y) {
+			t.Fatalf("MSB layouts disagree at %d", y)
+		}
+		r := SqrtApproxRound(y)
+		if r != ap && r != ap+1 {
+			t.Fatalf("rounding variant %d not in {%d, %d}", r, ap, ap+1)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package intstat
+
+// MulShift approximates a·b using only shifts and adds, the technique the
+// paper points to (Ding et al., NOMS 2020) for targets that cannot multiply
+// two runtime values. Operand b is rounded to the sum of its top `terms`
+// powers of two; each term turns into one shift of a plus one add. terms == 1
+// keeps the order of magnitude only; terms == 2 bounds the relative error by
+// 25%; larger values converge to the exact product.
+func MulShift(a, b uint64, terms int) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i < terms && b != 0; i++ {
+		e := MSB(b)
+		sum += a << uint(e)
+		b &^= 1 << uint(e)
+	}
+	return sum
+}
+
+// SquareApprox approximates y² as MulShift(y, y, 2). With two terms the
+// result keeps the two leading bits of one operand:
+// y = 2^e + r  ⇒  y² ≈ y·2^e + y·2^f where f is the position of r's MSB.
+func SquareApprox(y uint64) uint64 {
+	return MulShift(y, y, 2)
+}
+
+// SquareExact returns y², wrapping on overflow like a P4 register would.
+func SquareExact(y uint64) uint64 { return y * y }
+
+// IncSumsq returns the adjustment to Xsumsq when a frequency counter moves
+// from x to x+1: (x+1)² − x² = 2x + 1. This is the identity that lets Stat4
+// maintain a sum of squares without ever squaring a runtime value.
+func IncSumsq(x uint64) uint64 { return 2*x + 1 }
+
+// SatAdd returns a+b saturating at the maximum value representable in
+// `width` bits. Stat4 registers use saturation for the moment accumulators so
+// that an overflowing distribution reads as "huge", not as a small wrapped
+// value that would mask an anomaly.
+func SatAdd(a, b uint64, width uint) uint64 {
+	max := Mask(width)
+	if a > max {
+		a = max
+	}
+	if b > max {
+		b = max
+	}
+	if a > max-b {
+		return max
+	}
+	return a + b
+}
+
+// SatSub returns a−b saturating at zero.
+func SatSub(a, b uint64) uint64 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}
+
+// Mask returns the all-ones value of the given bit width (1 ≤ width ≤ 64).
+func Mask(width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<width - 1
+}

@@ -1,0 +1,172 @@
+// Package intstat provides the integer-only numeric primitives that Stat4
+// relies on: most-significant-bit location, the approximate square root of
+// Figure 2 of the paper, shift-based approximate multiplication and squaring,
+// and exact integer references used to quantify approximation error.
+//
+// Every routine in this package is implementable on a P4 target: the only
+// operations used are comparisons, additions, subtractions, bitwise logic and
+// shifts by compile-time constants. The package is the ground truth for the
+// op sequences emitted by internal/stat4p4; tests cross-check the two.
+package intstat
+
+// BitLen returns the number of bits required to represent v, i.e. one plus
+// the position of the most significant set bit, and 0 for v == 0. It is the
+// reference implementation; MSBIfChain and MSBLinear compute the same value
+// using only the control flow available in P4.
+func BitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// MSB returns the zero-based position of the most significant set bit of v.
+// It returns -1 for v == 0.
+func MSB(v uint64) int {
+	return BitLen(v) - 1
+}
+
+// MSBIfChain locates the most significant set bit using a nested-if binary
+// search, mirroring the "sequence of ifs" the Stat4 library uses on targets
+// without a priority encoder. For a 64-bit operand the chain is 6 sequential
+// comparisons deep. It returns -1 for v == 0.
+func MSBIfChain(v uint64) int {
+	if v == 0 {
+		return -1
+	}
+	pos := 0
+	if v >= 1<<32 {
+		v >>= 32
+		pos += 32
+	}
+	if v >= 1<<16 {
+		v >>= 16
+		pos += 16
+	}
+	if v >= 1<<8 {
+		v >>= 8
+		pos += 8
+	}
+	if v >= 1<<4 {
+		v >>= 4
+		pos += 4
+	}
+	if v >= 1<<2 {
+		v >>= 2
+		pos += 2
+	}
+	if v >= 1<<1 {
+		pos++
+	}
+	return pos
+}
+
+// MSBLinear locates the most significant set bit by scanning thresholds from
+// the top, the linear if-chain layout. It costs up to 64 sequential
+// comparisons but each is independent of the last result except through the
+// running answer, which is how a naive P4 implementation lays it out. It
+// returns -1 for v == 0. It exists as the ablation partner of MSBIfChain.
+func MSBLinear(v uint64) int {
+	for i := 63; i >= 0; i-- {
+		if v >= 1<<uint(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SqrtApprox approximates the integer square root of y using the algorithm of
+// Figure 2 of the paper. The operand is viewed as a floating-point-like pair
+// (exponent = MSB position, mantissa = bits below the MSB); the concatenated
+// exponent‖mantissa bit string is shifted right by one, and the result is
+// rebuilt as an integer whose MSB sits at exponent/2 with the leftmost
+// mantissa bits copied below it.
+//
+// The algorithm interpolates between successive squares of the form 2^(2k):
+// SqrtApprox(106) == 10, and SqrtApprox(3) == 1 (high relative error for very
+// small operands, as Table 2 of the paper notes).
+func SqrtApprox(y uint64) uint64 {
+	if y == 0 {
+		return 0
+	}
+	e := MSB(y) // exponent: position of the MSB
+	if e == 0 {
+		return 1 // y == 1
+	}
+	// mantissa: the e bits below the MSB.
+	m := y &^ (1 << uint(e))
+	// Shift the exponent‖mantissa string right by one: the exponent's low
+	// bit becomes the mantissa's new top bit and the exponent halves.
+	he := e >> 1
+	mShift := (m >> 1) | (uint64(e&1) << uint(e-1))
+	// Rebuild: MSB of the result at position he, with the top he bits of
+	// the shifted mantissa (width e) copied beneath it.
+	return 1<<uint(he) | mShift>>uint(e-he)
+}
+
+// SqrtApproxRound is the rounding ablation of SqrtApprox: it inspects the
+// first mantissa bit discarded by the final truncation and rounds the result
+// up when that bit is set. It costs one extra shift, mask and add.
+func SqrtApproxRound(y uint64) uint64 {
+	if y == 0 {
+		return 0
+	}
+	e := MSB(y)
+	if e == 0 {
+		return 1
+	}
+	m := y &^ (1 << uint(e))
+	he := e >> 1
+	mShift := (m >> 1) | (uint64(e&1) << uint(e-1))
+	r := 1<<uint(he) | mShift>>uint(e-he)
+	drop := e - he // number of truncated mantissa bits
+	if drop > 0 && mShift&(1<<uint(drop-1)) != 0 {
+		r++
+	}
+	return r
+}
+
+// SqrtExact returns floor(sqrt(y)) computed with integer Newton iteration.
+// It is the reference the error tables compare against (together with the
+// fractional square root from internal/baseline) and is NOT implementable in
+// P4: it iterates.
+func SqrtExact(y uint64) uint64 {
+	if y < 2 {
+		return y
+	}
+	// Initial estimate from the bit length; Newton converges quadratically.
+	x := uint64(1) << uint((BitLen(y)+1)/2)
+	for {
+		nx := (x + y/x) >> 1
+		if nx >= x {
+			return x
+		}
+		x = nx
+	}
+}
+
+// Log2Fixed approximates log2(y) in fixed point with `frac` fractional bits,
+// using the same exponent/mantissa view as SqrtApprox: the integer part is
+// the MSB position and the top mantissa bits approximate the fraction
+// (log2(1+t) ≈ t on [0,1]). This is the building block the paper's reference
+// [7] (Ding et al.) uses to track entropy in P4; it is included as a library
+// primitive for such extensions. Log2Fixed(0) returns 0 by convention.
+func Log2Fixed(y uint64, frac uint) uint64 {
+	if y == 0 {
+		return 0
+	}
+	e := MSB(y)
+	out := uint64(e) << frac
+	if e == 0 {
+		return out
+	}
+	m := y &^ (1 << uint(e)) // e mantissa bits
+	if uint(e) >= frac {
+		out |= m >> (uint(e) - frac)
+	} else {
+		out |= m << (frac - uint(e))
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package intstat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSqrtFigure2 reproduces the worked example of Figure 2 of the paper:
+// the approximate square root of 106 is 10.
+func TestSqrtFigure2(t *testing.T) {
+	if got := SqrtApprox(106); got != 10 {
+		t.Fatalf("SqrtApprox(106) = %d, want 10 (Figure 2)", got)
+	}
+}
+
+// TestSqrtTable2Footnote reproduces the Table 2 footnote: sqrt(3) is
+// approximated to 1.
+func TestSqrtTable2Footnote(t *testing.T) {
+	if got := SqrtApprox(3); got != 1 {
+		t.Fatalf("SqrtApprox(3) = %d, want 1 (Table 2 footnote)", got)
+	}
+}
+
+func TestSqrtApproxSmallValues(t *testing.T) {
+	// Hand-checked values of the Figure 2 algorithm.
+	cases := map[uint64]uint64{
+		0: 0, 1: 1, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 2, 8: 3,
+		9: 3, 10: 3, 15: 3, 16: 4, 17: 4, 24: 5, 25: 5,
+		63: 7, 64: 8, 100: 10, 106: 10, 255: 15, 256: 16,
+		1 << 20: 1 << 10, 1 << 40: 1 << 20,
+	}
+	for in, want := range cases {
+		if got := SqrtApprox(in); got != want {
+			t.Errorf("SqrtApprox(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestSqrtApproxExactOnEvenPowers checks the algorithm is exact on squares of
+// powers of two, the anchor points it interpolates between.
+func TestSqrtApproxExactOnEvenPowers(t *testing.T) {
+	for k := uint(0); k < 31; k++ {
+		y := uint64(1) << (2 * k)
+		if got := SqrtApprox(y); got != 1<<k {
+			t.Errorf("SqrtApprox(2^%d) = %d, want %d", 2*k, got, 1<<k)
+		}
+	}
+}
+
+// TestSqrtApproxMonotone verifies the approximation is non-decreasing, which
+// the outlier test mean + 2σ relies on.
+func TestSqrtApproxMonotone(t *testing.T) {
+	prev := uint64(0)
+	for y := uint64(0); y < 1<<16; y++ {
+		got := SqrtApprox(y)
+		if got < prev {
+			t.Fatalf("SqrtApprox not monotone at %d: %d < %d", y, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSqrtApproxErrorBound checks the relative error against the fractional
+// square root stays under 50% for all small inputs and under 5% for inputs
+// ≥ 100 — a loose envelope around the Table 2 numbers.
+func TestSqrtApproxErrorBound(t *testing.T) {
+	for y := uint64(1); y < 1<<20; y++ {
+		truth := math.Sqrt(float64(y))
+		err := math.Abs(float64(SqrtApprox(y))-truth) / truth
+		if err > 0.50 {
+			t.Fatalf("SqrtApprox(%d) rel err %.3f > 0.50", y, err)
+		}
+		// Asymptotically the linear-in-mantissa interpolation of sqrt
+		// deviates by at most 1.5/sqrt(2)-1 ≈ 6.07%; truncation adds a
+		// fraction of an LSB on top.
+		if y >= 100 && err > 0.065 {
+			t.Fatalf("SqrtApprox(%d) rel err %.4f > 0.065", y, err)
+		}
+	}
+}
+
+// TestSqrtApproxBracketsExact property: the approximation never exceeds
+// 2·floor(sqrt(y)) and is never below floor(sqrt(y))/2 — it preserves the
+// order of magnitude, which is what the anomaly checks consume.
+func TestSqrtApproxBrackets(t *testing.T) {
+	f := func(y uint64) bool {
+		ex := SqrtExact(y)
+		ap := SqrtApprox(y)
+		if y == 0 {
+			return ap == 0
+		}
+		return ap <= 2*ex && 2*ap >= ex
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtExact(t *testing.T) {
+	for y := uint64(0); y < 1<<16; y++ {
+		want := uint64(math.Sqrt(float64(y)))
+		// Guard against float rounding at perfect squares.
+		for want*want > y {
+			want--
+		}
+		for (want+1)*(want+1) <= y {
+			want++
+		}
+		if got := SqrtExact(y); got != want {
+			t.Fatalf("SqrtExact(%d) = %d, want %d", y, got, want)
+		}
+	}
+}
+
+func TestSqrtExactLarge(t *testing.T) {
+	cases := []uint64{1<<62 - 1, 1 << 62, 1<<63 + 12345, ^uint64(0)}
+	for _, y := range cases {
+		got := SqrtExact(y)
+		if got*got > y {
+			t.Errorf("SqrtExact(%d) = %d: square exceeds operand", y, got)
+		}
+		if got < (1<<32-1) && (got+1)*(got+1) <= y {
+			t.Errorf("SqrtExact(%d) = %d: not maximal", y, got)
+		}
+	}
+}
+
+// TestSqrtRoundAccuracy characterises the rounding ablation: it improves the
+// worst case (sqrt(2) rounds to 1.414's nearest representable rather than
+// truncating to 1... effectively capping the error at |1-sqrt(2)|/sqrt(2))
+// while the mean error stays within 20% of the truncating variant's.
+func TestSqrtRoundAccuracy(t *testing.T) {
+	var sumT, sumR, maxT, maxR float64
+	n := 0
+	for y := uint64(2); y < 1<<16; y++ {
+		truth := math.Sqrt(float64(y))
+		et := math.Abs(float64(SqrtApprox(y))-truth) / truth
+		er := math.Abs(float64(SqrtApproxRound(y))-truth) / truth
+		sumT += et
+		sumR += er
+		maxT = math.Max(maxT, et)
+		maxR = math.Max(maxR, er)
+		n++
+	}
+	if maxR > maxT {
+		t.Errorf("rounding worst case %.4f exceeds truncation worst case %.4f", maxR, maxT)
+	}
+	if sumR > sumT*1.20 {
+		t.Errorf("rounding mean error %.5f more than 10%% above truncation mean %.5f",
+			sumR/float64(n), sumT/float64(n))
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 1 << 63: 64, ^uint64(0): 64}
+	for in, want := range cases {
+		if got := BitLen(in); got != want {
+			t.Errorf("BitLen(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestMSBVariantsAgree property: all three MSB layouts compute the same
+// position for every operand.
+func TestMSBVariantsAgree(t *testing.T) {
+	f := func(v uint64) bool {
+		ref := MSB(v)
+		return MSBIfChain(v) == ref && MSBLinear(v) == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge values the generator may not hit.
+	for _, v := range []uint64{0, 1, 2, 1<<32 - 1, 1 << 32, 1 << 63, ^uint64(0)} {
+		ref := MSB(v)
+		if MSBIfChain(v) != ref || MSBLinear(v) != ref {
+			t.Fatalf("MSB variants disagree at %d", v)
+		}
+	}
+}
+
+func TestLog2Fixed(t *testing.T) {
+	const frac = 8
+	cases := map[uint64]float64{
+		1: 0, 2: 1, 3: 1.585, 4: 2, 8: 3, 1024: 10, 1 << 40: 40,
+		1000: 9.966, 6: 2.585,
+	}
+	for in, want := range cases {
+		got := float64(Log2Fixed(in, frac)) / (1 << frac)
+		// The linear-mantissa approximation of log2(1+t) is at most
+		// ~0.0861 below the true value, plus truncation.
+		if got > want+0.001 || got < want-0.10 {
+			t.Errorf("Log2Fixed(%d) ≈ %.4f, want ≈%.4f", in, got, want)
+		}
+	}
+	if Log2Fixed(0, frac) != 0 {
+		t.Fatal("Log2Fixed(0) != 0")
+	}
+}
+
+// TestLog2FixedMonotone property: the approximation is non-decreasing.
+func TestLog2FixedMonotone(t *testing.T) {
+	prev := uint64(0)
+	for y := uint64(1); y < 1<<16; y++ {
+		got := Log2Fixed(y, 8)
+		if got < prev {
+			t.Fatalf("Log2Fixed not monotone at %d: %d < %d", y, got, prev)
+		}
+		prev = got
+	}
+}

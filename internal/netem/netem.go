@@ -1,0 +1,179 @@
+// Package netem is a small discrete-event network simulator: a virtual
+// nanosecond clock, an event queue, and node wrappers that connect traffic
+// sources, the P4 switch simulator and a controller over links with
+// configurable latency. It stands in for the paper's emulated network
+// (Figure 6): the case study's claims are about which interval detects a
+// spike and how control-plane round trips dominate drill-down latency, both
+// of which are functions of virtual time.
+package netem
+
+import (
+	"container/heap"
+
+	"stat4/internal/p4"
+	"stat4/internal/traffic"
+)
+
+// Sim is the event loop. It is single-threaded: handlers run on the caller's
+// goroutine inside Run, and may schedule further events.
+type Sim struct {
+	now   uint64
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+type event struct {
+	at  uint64
+	seq uint64 // FIFO tie-break for equal timestamps
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in nanoseconds.
+func (s *Sim) Now() uint64 { return s.now }
+
+// Steps returns how many events have run.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past runs
+// the handler at the current time (the event fires next).
+func (s *Sim) At(t uint64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d uint64, fn func()) { s.At(s.now+d, fn) }
+
+// Run drains the event queue.
+func (s *Sim) Run() { s.RunUntil(^uint64(0)) }
+
+// RunUntil processes events with timestamps ≤ deadline and advances the
+// clock to the deadline (or the last event, whichever is later).
+func (s *Sim) RunUntil(deadline uint64) {
+	for len(s.queue) > 0 {
+		if s.queue[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	if deadline != ^uint64(0) && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// SwitchNode runs a p4.Switch inside the simulation: injected packets are
+// processed at their timestamps, output frames are delivered to connected
+// ports after their link delay, and digests reach the controller handler
+// after the control-channel delay — the push arrow of Figure 1c.
+type SwitchNode struct {
+	Sim *Sim
+	SW  *p4.Switch
+
+	// CtrlDelay is the one-way switch→controller latency.
+	CtrlDelay uint64
+	// OnDigest receives each digest at its controller arrival time.
+	OnDigest func(now uint64, d p4.Digest)
+
+	ports map[uint16]portLink
+}
+
+type portLink struct {
+	delay   uint64
+	deliver func(now uint64, data []byte)
+}
+
+// NewSwitchNode wires a switch into a simulation.
+func NewSwitchNode(sim *Sim, sw *p4.Switch, ctrlDelay uint64) *SwitchNode {
+	return &SwitchNode{Sim: sim, SW: sw, CtrlDelay: ctrlDelay, ports: make(map[uint16]portLink)}
+}
+
+// Connect attaches a receiver to an egress port over a link with the given
+// delay.
+func (n *SwitchNode) Connect(port uint16, delay uint64, deliver func(now uint64, data []byte)) {
+	n.ports[port] = portLink{delay: delay, deliver: deliver}
+}
+
+// Inject schedules one packet for processing at ts on the given ingress
+// port.
+func (n *SwitchNode) Inject(ts uint64, port uint16, pkt traffic.Pkt) {
+	n.Sim.At(ts, func() {
+		n.route(n.SW.ProcessPacket(n.Sim.Now(), port, pkt.Frame))
+	})
+}
+
+// InjectFrame processes raw frame bytes immediately (at the current virtual
+// time) on the given ingress port, routing outputs over connected links —
+// what a frame arriving on a wire from another node does.
+func (n *SwitchNode) InjectFrame(port uint16, data []byte) {
+	n.route(n.SW.ProcessFrame(n.Sim.Now(), port, data))
+}
+
+// route delivers switch outputs over connected links and forwards digests.
+func (n *SwitchNode) route(outs []p4.FrameOut) {
+	n.drainDigests()
+	for _, out := range outs {
+		link, ok := n.ports[out.Port]
+		if !ok {
+			continue
+		}
+		data := out.Data
+		n.Sim.After(link.delay, func() { link.deliver(n.Sim.Now(), data) })
+	}
+}
+
+// InjectStream feeds a whole traffic stream through the switch lazily: each
+// event schedules the next, so streams of millions of packets don't
+// materialise in memory.
+func (n *SwitchNode) InjectStream(st traffic.Stream, port uint16) {
+	var pump func()
+	pump = func() {
+		p, ok := st.Next()
+		if !ok {
+			return
+		}
+		n.Sim.At(p.TsNs, func() {
+			n.route(n.SW.ProcessPacket(n.Sim.Now(), port, p.Frame))
+			pump()
+		})
+	}
+	pump()
+}
+
+// drainDigests moves digests produced by the last packet onto the simulated
+// control channel.
+func (n *SwitchNode) drainDigests() {
+	for {
+		select {
+		case d := <-n.SW.Digests():
+			if n.OnDigest != nil {
+				dg := d
+				n.Sim.After(n.CtrlDelay, func() { n.OnDigest(n.Sim.Now(), dg) })
+			}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netem
+
+import (
+	"testing"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+	"stat4/internal/traffic"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() {
+		got = append(got, 2)
+		// Events scheduled from handlers interleave correctly.
+		s.After(5, func() { got = append(got, 25) })
+	})
+	s.Run()
+	want := []int{1, 2, 25, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Steps() != 4 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+}
+
+func TestSimFIFOForEqualTimes(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(30, func() { ran++ })
+	s.RunUntil(20)
+	if ran != 1 || s.Now() != 20 {
+		t.Fatalf("ran=%d now=%d", ran, s.Now())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Fatalf("ran=%d after full Run", ran)
+	}
+}
+
+func TestSimPastSchedulingClamps(t *testing.T) {
+	s := NewSim()
+	var when uint64
+	s.At(100, func() {
+		s.At(5, func() { when = s.Now() }) // in the past
+	})
+	s.Run()
+	if when != 100 {
+		t.Fatalf("past event ran at %d, want clamped to 100", when)
+	}
+}
+
+// TestSwitchNodeEndToEnd wires a Stat4 switch into the simulator: traffic is
+// injected as a stream, digests arrive at the controller hook after the
+// control delay, and forwarded frames arrive at a connected port after the
+// link delay.
+func TestSwitchNodeEndToEnd(t *testing.T) {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1})
+	rt, err := stat4p4.NewRuntime(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const intShift = 10
+	if _, err := rt.BindWindow(0, 0, stat4p4.AllIPv4(), intShift, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	sim := NewSim()
+	node := NewSwitchNode(sim, rt.Switch(), 500)
+
+	var digestTimes []uint64
+	var digestEmit []uint64
+	node.OnDigest = func(now uint64, d p4.Digest) {
+		digestTimes = append(digestTimes, now)
+		digestEmit = append(digestEmit, d.Values[4])
+	}
+	var delivered int
+	var deliverTimes []uint64
+	node.Connect(0, 100, func(now uint64, data []byte) {
+		delivered++
+		deliverTimes = append(deliverTimes, now)
+	})
+
+	// Stable intervals then a 10x spike.
+	dest := []packet.IP4{packet.ParseIP4(10, 0, 0, 1)}
+	load := &traffic.LoadBalanced{Dests: dest, Rate: 20e6, End: 40 << intShift, Seed: 1, Jitter: 0.2}
+	spike := &traffic.Spike{Dest: dest[0], Rate: 300e6, Start: 30 << intShift, End: 40 << intShift, Seed: 2, Jitter: 0.2}
+	node.InjectStream(traffic.Merge(load, spike), 1)
+	sim.Run()
+
+	if delivered == 0 {
+		t.Fatal("no frames delivered to the connected port")
+	}
+	if len(digestTimes) == 0 {
+		t.Fatal("no digest reached the controller")
+	}
+	for i, at := range digestTimes {
+		if at != digestEmit[i]+500 {
+			t.Fatalf("digest %d: arrived %d, emitted %d, want ctrl delay 500", i, at, digestEmit[i])
+		}
+	}
+	st := rt.Switch().Stats()
+	if uint64(delivered) != st.PktsOut {
+		t.Fatalf("delivered %d frames, switch emitted %d", delivered, st.PktsOut)
+	}
+}
+
+func TestSwitchNodeUnconnectedPortDropsQuietly(t *testing.T) {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 8, Stages: 1})
+	rt, err := stat4p4.NewRuntime(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim()
+	node := NewSwitchNode(sim, rt.Switch(), 0)
+	node.Inject(5, 1, traffic.Pkt{TsNs: 5, Frame: packet.NewUDPFrame(1, 2, 3, 4, 8)})
+	sim.Run() // must not panic
+	if rt.Switch().Stats().PktsIn != 1 {
+		t.Fatal("packet not processed")
+	}
+}

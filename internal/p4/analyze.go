@@ -1,0 +1,308 @@
+package p4
+
+// ResourceReport is the static resource and dependency analysis of a
+// program, the simulator's counterpart of the Section 4 resource-consumption
+// evaluation. Byte figures count declared state (registers) and table
+// capacity; the dependency figures bound how the program maps onto pipeline
+// stages, which is what limits deployability on hardware targets.
+type ResourceReport struct {
+	Name string
+
+	NumFields    int
+	NumActions   int
+	NumTables    int
+	NumRegisters int
+
+	RegisterCells int // total register cells
+	RegisterBytes int // total register bytes (cells × cell width)
+	TableBytes    int // capacity × per-entry bytes, summed over tables
+	TotalBytes    int // RegisterBytes + TableBytes
+
+	// MatchRuleDependencies is the maximum number of earlier match-action
+	// rules whose action results feed a later rule's match keys on any
+	// packet path — the paper reports "at most one dependency between
+	// match-action rules" for the case-study program.
+	MatchRuleDependencies int
+
+	// LongestDepChain is the longest sequential def-use chain through the
+	// per-packet execution: each op (or table lookup) adds one step on top
+	// of the deepest value it consumes. The paper reports a 12-step chain
+	// for the circular-buffer override. A chain must fit the target's
+	// pipeline depth ("most commercial targets support more than 10
+	// pipeline stages").
+	LongestDepChain int
+}
+
+// AnalyzeProgram computes the resource report.
+func AnalyzeProgram(p *Program) ResourceReport {
+	r := ResourceReport{
+		Name:         p.Name,
+		NumFields:    len(p.Fields),
+		NumActions:   len(p.Actions),
+		NumTables:    len(p.Tables),
+		NumRegisters: len(p.Registers),
+	}
+	for _, reg := range p.Registers {
+		r.RegisterCells += reg.Cells
+		r.RegisterBytes += reg.Bytes()
+	}
+	for _, t := range p.Tables {
+		r.TableBytes += t.MaxEntries * entryBytes(p, t)
+	}
+	r.TotalBytes = r.RegisterBytes + r.TableBytes
+	r.MatchRuleDependencies = matchRuleDependencies(p)
+	r.LongestDepChain = longestDepChain(p)
+	return r
+}
+
+// entryBytes estimates the storage of one entry: match data per key (value
+// plus mask for ternary), a 4-byte action selector, and 4 bytes per action
+// parameter of the widest bindable action.
+func entryBytes(p *Program, t *TableDef) int {
+	b := 0
+	for _, k := range t.Keys {
+		kb := int((p.Fields[k.Field].Width + 7) / 8)
+		b += kb
+		if k.Kind == MatchTernary {
+			b += kb // the mask
+		}
+	}
+	b += 4 // action selector
+	maxParams := 0
+	for _, an := range t.ActionNames {
+		if a, ok := p.action(an); ok && a.NumParams > maxParams {
+			maxParams = a.NumParams
+		}
+	}
+	return b + 4*maxParams
+}
+
+// actionWrites returns the set of fields an action may write.
+func actionWrites(a *Action) map[FieldID]bool {
+	w := make(map[FieldID]bool)
+	for _, op := range a.Ops {
+		switch op.Code {
+		case OpMov, OpAdd, OpSub, OpMul, OpSatAdd, OpSatSub, OpAnd, OpOr, OpXor, OpNot,
+			OpShl, OpShr, OpRegRead, OpHash:
+			w[op.Dst.Field] = true
+		}
+	}
+	return w
+}
+
+// appliedTables returns table names in pre-order over the control flow.
+func appliedTables(stmts []Stmt, out *[]string) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case ApplyStmt:
+			*out = append(*out, st.Table)
+		case IfStmt:
+			appliedTables(st.Then, out)
+			appliedTables(st.Else, out)
+		}
+	}
+}
+
+// matchRuleDependencies computes, for each applied table, how many earlier
+// applied tables can write one of its match key fields, and returns the
+// maximum.
+func matchRuleDependencies(p *Program) int {
+	var order []string
+	appliedTables(p.Control, &order)
+	writesOf := func(name string) map[FieldID]bool {
+		t, ok := p.table(name)
+		if !ok {
+			return nil
+		}
+		w := make(map[FieldID]bool)
+		names := t.ActionNames
+		if t.DefaultAction != "" {
+			names = append(append([]string(nil), names...), t.DefaultAction)
+		}
+		for _, an := range names {
+			if a, ok := p.action(an); ok {
+				for f := range actionWrites(a) {
+					w[f] = true
+				}
+			}
+		}
+		return w
+	}
+	maxDeps := 0
+	for i, name := range order {
+		t, ok := p.table(name)
+		if !ok {
+			continue
+		}
+		deps := 0
+		for j := 0; j < i; j++ {
+			w := writesOf(order[j])
+			for _, k := range t.Keys {
+				if w[k.Field] {
+					deps++
+					break
+				}
+			}
+		}
+		if deps > maxDeps {
+			maxDeps = deps
+		}
+	}
+	return maxDeps
+}
+
+// depState carries the running def-use depth of every field and register
+// during the chain analysis.
+type depState struct {
+	field []int
+	reg   map[string]int
+	max   int
+}
+
+func (d *depState) clone() *depState {
+	c := &depState{field: append([]int(nil), d.field...), reg: make(map[string]int, len(d.reg)), max: d.max}
+	for k, v := range d.reg {
+		c.reg[k] = v
+	}
+	return c
+}
+
+func (d *depState) merge(o *depState) {
+	for i := range d.field {
+		if o.field[i] > d.field[i] {
+			d.field[i] = o.field[i]
+		}
+	}
+	for k, v := range o.reg {
+		if v > d.reg[k] {
+			d.reg[k] = v
+		}
+	}
+	if o.max > d.max {
+		d.max = o.max
+	}
+}
+
+func (d *depState) bump(v int) {
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// longestDepChain walks the control flow once, propagating def-use depths and
+// merging branches pointwise, which upper-bounds the longest chain on any
+// packet path in linear time.
+func longestDepChain(p *Program) int {
+	d := &depState{field: make([]int, len(p.Fields)), reg: make(map[string]int)}
+	chainStmts(p, p.Control, d, 0)
+	return d.max
+}
+
+func refDepth(d *depState, r Ref) int {
+	if r.Kind == RefField {
+		return d.field[r.Field]
+	}
+	return 0
+}
+
+func chainStmts(p *Program, stmts []Stmt, d *depState, ctrl int) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case ApplyStmt:
+			t, ok := p.table(st.Table)
+			if !ok {
+				continue
+			}
+			keyDepth := ctrl
+			for _, k := range t.Keys {
+				if d.field[k.Field] > keyDepth {
+					keyDepth = d.field[k.Field]
+				}
+			}
+			lookup := keyDepth + 1
+			d.bump(lookup)
+			names := t.ActionNames
+			if t.DefaultAction != "" {
+				names = append(append([]string(nil), names...), t.DefaultAction)
+			}
+			merged := d.clone()
+			for _, an := range names {
+				a, ok := p.action(an)
+				if !ok {
+					continue
+				}
+				branch := d.clone()
+				chainAction(p, a, branch, lookup)
+				merged.merge(branch)
+			}
+			*d = *merged
+		case CallStmt:
+			if a, ok := p.action(st.Action); ok {
+				chainAction(p, a, d, ctrl)
+			}
+		case IfStmt:
+			condDepth := ctrl
+			if v := refDepth(d, st.Cond.A); v > condDepth {
+				condDepth = v
+			}
+			if v := refDepth(d, st.Cond.B); v > condDepth {
+				condDepth = v
+			}
+			condDepth++ // evaluating the comparison is a step
+			d.bump(condDepth)
+			thenD := d.clone()
+			chainStmts(p, st.Then, thenD, condDepth)
+			elseD := d.clone()
+			chainStmts(p, st.Else, elseD, condDepth)
+			thenD.merge(elseD)
+			*d = *thenD
+		}
+	}
+}
+
+func chainAction(p *Program, a *Action, d *depState, ctrl int) {
+	for _, op := range a.Ops {
+		in := ctrl
+		take := func(r Ref) {
+			if v := refDepth(d, r); v > in {
+				in = v
+			}
+		}
+		switch op.Code {
+		case OpMov, OpNot:
+			take(op.A)
+			d.field[op.Dst.Field] = in + 1
+			d.bump(in + 1)
+		case OpAdd, OpSub, OpMul, OpSatAdd, OpSatSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpHash:
+			take(op.A)
+			take(op.B)
+			d.field[op.Dst.Field] = in + 1
+			d.bump(in + 1)
+		case OpRegRead:
+			take(op.A)
+			if v := d.reg[op.Reg]; v > in {
+				in = v
+			}
+			d.field[op.Dst.Field] = in + 1
+			d.bump(in + 1)
+		case OpRegWrite:
+			take(op.A)
+			take(op.B)
+			if v := d.reg[op.Reg]; v > in {
+				in = v
+			}
+			d.reg[op.Reg] = in + 1
+			d.bump(in + 1)
+		case OpDigest:
+			for _, f := range op.Fields {
+				if v := d.field[f]; v > in {
+					in = v
+				}
+			}
+			d.bump(in + 1)
+		case OpSetEgress, OpDrop:
+			take(op.A)
+			d.bump(in + 1)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a program as a readable pseudo-P4 listing: declarations,
+// actions as op sequences, tables with their keys and bindable actions, and
+// the control flow with nested ifs. It exists for inspection and debugging
+// (cmd/stat4-dump); the output is stable so it can be snapshot-tested.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q  target=%s\n", p.Name, p.Target.Name)
+
+	fmt.Fprintf(&b, "\nfields (%d):\n", len(p.Fields))
+	for i, f := range p.Fields {
+		fmt.Fprintf(&b, "  f%-3d %-18s %2d bits\n", i, f.Name, f.Width)
+	}
+
+	fmt.Fprintf(&b, "\nregisters (%d):\n", len(p.Registers))
+	for _, r := range p.Registers {
+		fmt.Fprintf(&b, "  %-18s %6d cells x %2d bits = %7d bytes\n",
+			r.Name, r.Cells, r.Width, r.Bytes())
+	}
+
+	fmt.Fprintf(&b, "\nactions (%d):\n", len(p.Actions))
+	names := make([]string, 0, len(p.Actions))
+	byName := map[string]*Action{}
+	for _, a := range p.Actions {
+		names = append(names, a.Name)
+		byName[a.Name] = a
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := byName[n]
+		fmt.Fprintf(&b, "  action %s(%d params) {\n", a.Name, a.NumParams)
+		for _, op := range a.Ops {
+			fmt.Fprintf(&b, "    %s\n", formatOp(p, op))
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+
+	fmt.Fprintf(&b, "\ntables (%d):\n", len(p.Tables))
+	for _, t := range p.Tables {
+		fmt.Fprintf(&b, "  table %s {\n", t.Name)
+		for _, k := range t.Keys {
+			fmt.Fprintf(&b, "    key %s : %s\n", p.Fields[k.Field].Name, k.Kind)
+		}
+		fmt.Fprintf(&b, "    actions { %s }\n", strings.Join(t.ActionNames, ", "))
+		if t.DefaultAction != "" {
+			fmt.Fprintf(&b, "    default %s%s\n", t.DefaultAction, formatArgs(t.DefaultArgs))
+		}
+		fmt.Fprintf(&b, "    size %d\n  }\n", t.MaxEntries)
+	}
+
+	fmt.Fprintf(&b, "\ncontrol {\n")
+	formatStmts(&b, p, p.Control, 1)
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func formatArgs(args []uint64) string {
+	if len(args) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func formatRef(p *Program, r Ref) string {
+	switch r.Kind {
+	case RefConst:
+		if r.Const > 4096 {
+			return fmt.Sprintf("%#x", r.Const)
+		}
+		return fmt.Sprintf("%d", r.Const)
+	case RefField:
+		if int(r.Field) < len(p.Fields) {
+			return p.Fields[r.Field].Name
+		}
+		return fmt.Sprintf("f?%d", r.Field)
+	case RefParam:
+		return fmt.Sprintf("$%d", r.Param)
+	default:
+		return "?"
+	}
+}
+
+func formatOp(p *Program, op Op) string {
+	dst := func() string { return formatRef(p, op.Dst) }
+	a := func() string { return formatRef(p, op.A) }
+	bb := func() string { return formatRef(p, op.B) }
+	switch op.Code {
+	case OpMov:
+		return fmt.Sprintf("%s = %s", dst(), a())
+	case OpAdd:
+		return fmt.Sprintf("%s = %s + %s", dst(), a(), bb())
+	case OpSub:
+		return fmt.Sprintf("%s = %s - %s", dst(), a(), bb())
+	case OpMul:
+		return fmt.Sprintf("%s = %s * %s", dst(), a(), bb())
+	case OpSatAdd:
+		return fmt.Sprintf("%s = sat(%s + %s)", dst(), a(), bb())
+	case OpSatSub:
+		return fmt.Sprintf("%s = sat(%s - %s)", dst(), a(), bb())
+	case OpAnd:
+		return fmt.Sprintf("%s = %s & %s", dst(), a(), bb())
+	case OpOr:
+		return fmt.Sprintf("%s = %s | %s", dst(), a(), bb())
+	case OpXor:
+		return fmt.Sprintf("%s = %s ^ %s", dst(), a(), bb())
+	case OpNot:
+		return fmt.Sprintf("%s = ~%s", dst(), a())
+	case OpShl:
+		return fmt.Sprintf("%s = %s << %s", dst(), a(), bb())
+	case OpShr:
+		return fmt.Sprintf("%s = %s >> %s", dst(), a(), bb())
+	case OpHash:
+		return fmt.Sprintf("%s = hash%d(%s) & %s", dst(), op.HashID, a(), bb())
+	case OpRegRead:
+		return fmt.Sprintf("%s = %s[%s]", dst(), op.Reg, a())
+	case OpRegWrite:
+		return fmt.Sprintf("%s[%s] = %s", op.Reg, a(), bb())
+	case OpDigest:
+		fields := make([]string, len(op.Fields))
+		for i, f := range op.Fields {
+			fields[i] = p.Fields[f].Name
+		}
+		return fmt.Sprintf("digest#%d(%s)", op.DigestID, strings.Join(fields, ", "))
+	case OpSetEgress:
+		return fmt.Sprintf("egress = %s", a())
+	case OpDrop:
+		return "drop"
+	default:
+		return op.Code.String()
+	}
+}
+
+var cmpSymbols = map[CmpOp]string{
+	CmpEq: "==", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+}
+
+func formatStmts(b *strings.Builder, p *Program, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case ApplyStmt:
+			fmt.Fprintf(b, "%sapply %s\n", indent, st.Table)
+		case CallStmt:
+			fmt.Fprintf(b, "%s%s%s\n", indent, st.Action, formatArgs(st.Args))
+		case IfStmt:
+			fmt.Fprintf(b, "%sif %s %s %s {\n", indent,
+				formatRef(p, st.Cond.A), cmpSymbols[st.Cond.Op], formatRef(p, st.Cond.B))
+			formatStmts(b, p, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				formatStmts(b, p, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package p4 is a behavioral-model-style simulator of a P4 programmable
+// switch, the substrate the Stat4 library runs on. A Program declares
+// metadata fields, register arrays, actions and match-action tables, plus a
+// control flow of table applies and branches; a Switch interprets the
+// program for every frame.
+//
+// The simulator enforces the operational restrictions that shaped the
+// paper's algorithms, by construction and by a validation pass:
+//
+//   - the action language has no division, modulo, floating point or loops —
+//     only moves, adds and subtracts (wrapping or saturating), bitwise logic
+//     and shifts;
+//   - shift amounts must be compile-time constants or control-plane-installed
+//     action parameters, never packet-dependent values, matching hardware
+//     barrel shifters;
+//   - control flow is straight-line with nested ifs; there is no way to
+//     express iteration or recirculation;
+//   - state lives in register arrays with bounded cells and widths.
+//
+// The control plane manipulates tables at runtime (insert, modify, delete)
+// without touching the program, which is how Stat4's binding tables retune
+// the tracked distributions on the fly. Alerts leave the data plane as
+// digests on a bounded channel.
+//
+// Static analysis over the same representation produces the resource and
+// dependency report of Section 4: register footprint, table footprint,
+// match-rule dependencies and the longest sequential dependency chain.
+package p4
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Width is a field or register cell width in bits (1..64).
+type Width uint8
+
+// FieldID indexes a metadata field declared in a Program.
+type FieldID int
+
+// FieldDef declares one metadata field.
+type FieldDef struct {
+	Name  string
+	Width Width
+}
+
+// RegisterDef declares a register array.
+type RegisterDef struct {
+	Name  string
+	Cells int
+	Width Width
+}
+
+// Bytes returns the array's memory footprint in bytes, rounding each cell up
+// to whole bytes as an SRAM allocator would.
+func (r RegisterDef) Bytes() int {
+	return r.Cells * int((r.Width+7)/8)
+}
+
+// Program is a complete data-plane program: declarations plus the ingress
+// control flow. Build one with NewProgram and the Add helpers, then hand it
+// to NewSwitch, which validates it.
+type Program struct {
+	Name      string
+	Target    Target
+	Fields    []FieldDef
+	Registers []RegisterDef
+	Actions   []*Action
+	Tables    []*TableDef
+	Control   []Stmt
+
+	fieldByName map[string]FieldID
+}
+
+// Target is a validation profile describing what the hardware supports.
+type Target struct {
+	Name string
+	// AllowMul permits multiplication of two runtime values. The P4
+	// behavioral model supports it; switching ASICs generally do not,
+	// forcing the shift-based approximations of Section 2.
+	AllowMul bool
+}
+
+// Built-in targets.
+var (
+	// TargetBMv2 models the P4 behavioral model the paper validates on.
+	TargetBMv2 = Target{Name: "bmv2", AllowMul: true}
+	// TargetStrict models a hardware pipeline without runtime multiply.
+	TargetStrict = Target{Name: "strict", AllowMul: false}
+)
+
+// NewProgram returns an empty program validated against TargetBMv2; set
+// Target before Validate to lint for stricter hardware.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Target: TargetBMv2, fieldByName: make(map[string]FieldID)}
+}
+
+// AddField declares a metadata field and returns its ID. Redeclaring a name
+// panics: programs are built by trusted code at startup.
+func (p *Program) AddField(name string, w Width) FieldID {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("p4: field %q width %d out of range", name, w))
+	}
+	if _, dup := p.fieldByName[name]; dup {
+		panic(fmt.Sprintf("p4: duplicate field %q", name))
+	}
+	id := FieldID(len(p.Fields))
+	p.Fields = append(p.Fields, FieldDef{Name: name, Width: w})
+	p.fieldByName[name] = id
+	return id
+}
+
+// FieldByName returns the ID of a declared field.
+func (p *Program) FieldByName(name string) (FieldID, bool) {
+	id, ok := p.fieldByName[name]
+	return id, ok
+}
+
+// AddRegister declares a register array.
+func (p *Program) AddRegister(name string, cells int, w Width) {
+	if cells <= 0 {
+		panic(fmt.Sprintf("p4: register %q with %d cells", name, cells))
+	}
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("p4: register %q width %d out of range", name, w))
+	}
+	p.Registers = append(p.Registers, RegisterDef{Name: name, Cells: cells, Width: w})
+}
+
+// AddAction declares an action.
+func (p *Program) AddAction(a *Action) {
+	p.Actions = append(p.Actions, a)
+}
+
+// AddTable declares a match-action table.
+func (p *Program) AddTable(t *TableDef) {
+	p.Tables = append(p.Tables, t)
+}
+
+// action looks an action up by name.
+func (p *Program) action(name string) (*Action, bool) {
+	for _, a := range p.Actions {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// table looks a table definition up by name.
+func (p *Program) table(name string) (*TableDef, bool) {
+	for _, t := range p.Tables {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// register looks a register definition up by name.
+func (p *Program) register(name string) (RegisterDef, bool) {
+	for _, r := range p.Registers {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RegisterDef{}, false
+}
+
+// ErrInvalidProgram wraps all validation failures reported by Validate.
+var ErrInvalidProgram = errors.New("p4: invalid program")
+
+// Validate checks the program is well formed and P4-legal: every reference
+// resolves, opcode operands have the right kinds, shift amounts are not
+// packet-dependent, and table default actions exist. NewSwitch calls it;
+// it is exported so tools can lint programs without instantiating state.
+func (p *Program) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidProgram, fmt.Sprintf(format, args...))
+	}
+	seenReg := map[string]bool{}
+	for _, r := range p.Registers {
+		if seenReg[r.Name] {
+			return fail("duplicate register %q", r.Name)
+		}
+		seenReg[r.Name] = true
+	}
+	seenAct := map[string]bool{}
+	for _, a := range p.Actions {
+		if seenAct[a.Name] {
+			return fail("duplicate action %q", a.Name)
+		}
+		seenAct[a.Name] = true
+		for i, op := range a.Ops {
+			if err := p.validateOp(a, i, op); err != nil {
+				return err
+			}
+		}
+	}
+	seenTbl := map[string]bool{}
+	for _, t := range p.Tables {
+		if seenTbl[t.Name] {
+			return fail("duplicate table %q", t.Name)
+		}
+		seenTbl[t.Name] = true
+		for _, k := range t.Keys {
+			if int(k.Field) >= len(p.Fields) || k.Field < 0 {
+				return fail("table %q keys on undeclared field %d", t.Name, k.Field)
+			}
+		}
+		if len(t.Keys) > 1 {
+			for _, k := range t.Keys {
+				if k.Kind == MatchLPM {
+					return fail("table %q: LPM keys must be the sole key", t.Name)
+				}
+			}
+		}
+		for _, an := range t.ActionNames {
+			if _, ok := p.action(an); !ok {
+				return fail("table %q references undeclared action %q", t.Name, an)
+			}
+		}
+		if t.DefaultAction != "" {
+			if _, ok := p.action(t.DefaultAction); !ok {
+				return fail("table %q default action %q undeclared", t.Name, t.DefaultAction)
+			}
+		}
+		if t.MaxEntries <= 0 {
+			return fail("table %q has non-positive capacity", t.Name)
+		}
+	}
+	return p.validateStmts(p.Control, 0)
+}
+
+func (p *Program) validateStmts(stmts []Stmt, depth int) error {
+	const maxIfDepth = 64 // generous; hardware pipelines are far shallower
+	if depth > maxIfDepth {
+		return fmt.Errorf("%w: if-nesting exceeds %d", ErrInvalidProgram, maxIfDepth)
+	}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case ApplyStmt:
+			if _, ok := p.table(st.Table); !ok {
+				return fmt.Errorf("%w: apply of undeclared table %q", ErrInvalidProgram, st.Table)
+			}
+		case CallStmt:
+			a, ok := p.action(st.Action)
+			if !ok {
+				return fmt.Errorf("%w: call of undeclared action %q", ErrInvalidProgram, st.Action)
+			}
+			if len(st.Args) != a.NumParams {
+				return fmt.Errorf("%w: call of %q with %d args, want %d",
+					ErrInvalidProgram, st.Action, len(st.Args), a.NumParams)
+			}
+		case IfStmt:
+			if err := p.validateRef(st.Cond.A, -1); err != nil {
+				return err
+			}
+			if err := p.validateRef(st.Cond.B, -1); err != nil {
+				return err
+			}
+			if err := p.validateStmts(st.Then, depth+1); err != nil {
+				return err
+			}
+			if err := p.validateStmts(st.Else, depth+1); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown statement %T", ErrInvalidProgram, s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateRef(r Ref, numParams int) error {
+	switch r.Kind {
+	case RefConst:
+		return nil
+	case RefField:
+		if int(r.Field) >= len(p.Fields) || r.Field < 0 {
+			return fmt.Errorf("%w: reference to undeclared field %d", ErrInvalidProgram, r.Field)
+		}
+		return nil
+	case RefParam:
+		if numParams < 0 {
+			return fmt.Errorf("%w: parameter reference outside an action", ErrInvalidProgram)
+		}
+		if r.Param < 0 || r.Param >= numParams {
+			return fmt.Errorf("%w: parameter %d of %d", ErrInvalidProgram, r.Param, numParams)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown ref kind %d", ErrInvalidProgram, r.Kind)
+	}
+}
+
+func (p *Program) validateOp(a *Action, i int, op Op) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: action %q op %d: %s", ErrInvalidProgram, a.Name, i, fmt.Sprintf(format, args...))
+	}
+	needDstField := func() error {
+		if op.Dst.Kind != RefField {
+			return fail("destination must be a field")
+		}
+		return p.validateRef(op.Dst, a.NumParams)
+	}
+	switch op.Code {
+	case OpMov, OpNot:
+		if err := needDstField(); err != nil {
+			return err
+		}
+		return p.validateRef(op.A, a.NumParams)
+	case OpAdd, OpSub, OpSatAdd, OpSatSub, OpAnd, OpOr, OpXor:
+		if err := needDstField(); err != nil {
+			return err
+		}
+		if err := p.validateRef(op.A, a.NumParams); err != nil {
+			return err
+		}
+		return p.validateRef(op.B, a.NumParams)
+	case OpMul:
+		if !p.Target.AllowMul {
+			return fail("target %q does not support runtime multiplication", p.Target.Name)
+		}
+		if err := needDstField(); err != nil {
+			return err
+		}
+		if err := p.validateRef(op.A, a.NumParams); err != nil {
+			return err
+		}
+		return p.validateRef(op.B, a.NumParams)
+	case OpShl, OpShr:
+		if err := needDstField(); err != nil {
+			return err
+		}
+		if err := p.validateRef(op.A, a.NumParams); err != nil {
+			return err
+		}
+		if op.B.Kind == RefField {
+			// The defining hardware restriction: no packet-dependent
+			// shift amounts.
+			return fail("shift amount must be a constant or action parameter")
+		}
+		return p.validateRef(op.B, a.NumParams)
+	case OpRegRead:
+		if err := needDstField(); err != nil {
+			return err
+		}
+		if _, ok := p.register(op.Reg); !ok {
+			return fail("undeclared register %q", op.Reg)
+		}
+		return p.validateRef(op.A, a.NumParams) // index
+	case OpRegWrite:
+		if _, ok := p.register(op.Reg); !ok {
+			return fail("undeclared register %q", op.Reg)
+		}
+		if err := p.validateRef(op.A, a.NumParams); err != nil { // index
+			return err
+		}
+		return p.validateRef(op.B, a.NumParams) // value
+	case OpHash:
+		if err := needDstField(); err != nil {
+			return err
+		}
+		if op.HashID < 0 || op.HashID >= NumHashFunctions {
+			return fail("hash function %d of %d", op.HashID, NumHashFunctions)
+		}
+		if op.B.Kind != RefConst {
+			return fail("hash mask must be a constant")
+		}
+		return p.validateRef(op.A, a.NumParams)
+	case OpDigest:
+		for _, f := range op.Fields {
+			if err := p.validateRef(Ref{Kind: RefField, Field: f}, a.NumParams); err != nil {
+				return err
+			}
+		}
+		return nil
+	case OpSetEgress:
+		return p.validateRef(op.A, a.NumParams)
+	case OpDrop:
+		return nil
+	default:
+		return fail("unknown opcode %d", op.Code)
+	}
+}

@@ -1,0 +1,117 @@
+package p4
+
+import "fmt"
+
+// Snapshot is a copy of a switch's mutable state: every register array and
+// every table's installed entries. It supports checkpoint/restore of
+// experiments (e.g. rewinding to the moment before a spike) and state
+// migration between switch instances running the same program.
+type Snapshot struct {
+	Registers map[string][]uint64
+	Entries   map[string][]Entry
+}
+
+// Snapshot captures the switch's current state. It is safe to call while the
+// data plane runs; each register and table is copied atomically (the whole
+// snapshot is not a single atomic cut, like any control-plane bulk read).
+func (sw *Switch) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Registers: make(map[string][]uint64, len(sw.regs)),
+		Entries:   make(map[string][]Entry, len(sw.tables)),
+	}
+	for name, r := range sw.regs {
+		s.Registers[name] = r.Snapshot()
+	}
+	for name, t := range sw.tables {
+		t.mu.RLock()
+		es := make([]Entry, 0, len(t.entries))
+		for _, e := range t.entries {
+			c := *e
+			c.Match = append([]MatchValue(nil), e.Match...)
+			c.Args = append([]uint64(nil), e.Args...)
+			es = append(es, c)
+		}
+		t.mu.RUnlock()
+		s.Entries[name] = es
+	}
+	return s
+}
+
+// Restore loads a snapshot into the switch. The snapshot must come from a
+// switch running a program with identical registers and tables; mismatched
+// shapes are rejected before any state is touched. Entry IDs are preserved,
+// so handles held by a controller stay valid.
+func (sw *Switch) Restore(s *Snapshot) error {
+	// Validate first: all-or-nothing.
+	for name, cells := range s.Registers {
+		r, ok := sw.regs[name]
+		if !ok {
+			return fmt.Errorf("p4: snapshot register %q not in program", name)
+		}
+		if len(cells) != r.def.Cells {
+			return fmt.Errorf("p4: snapshot register %q has %d cells, program %d",
+				name, len(cells), r.def.Cells)
+		}
+	}
+	for name, entries := range s.Entries {
+		t, ok := sw.tables[name]
+		if !ok {
+			return fmt.Errorf("p4: snapshot table %q not in program", name)
+		}
+		if len(entries) > t.def.MaxEntries {
+			return fmt.Errorf("p4: snapshot table %q has %d entries, capacity %d",
+				name, len(entries), t.def.MaxEntries)
+		}
+		for _, e := range entries {
+			if err := t.validateEntry(e.Match, e.Action, e.Args, e.Priority); err != nil {
+				return fmt.Errorf("p4: snapshot table %q entry %d: %w", name, e.ID, err)
+			}
+		}
+	}
+
+	for name, cells := range s.Registers {
+		r := sw.regs[name]
+		r.mu.Lock()
+		copy(r.cells, cells)
+		r.mu.Unlock()
+	}
+	for name, entries := range s.Entries {
+		t := sw.tables[name]
+		t.mu.Lock()
+		t.entries = t.entries[:0]
+		maxID := EntryID(0)
+		for _, e := range entries {
+			c := e
+			c.Match = append([]MatchValue(nil), e.Match...)
+			c.Args = append([]uint64(nil), e.Args...)
+			t.entries = append(t.entries, &c)
+			if c.ID > maxID {
+				maxID = c.ID
+			}
+		}
+		if t.nextID <= maxID {
+			t.nextID = maxID + 1
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// TableEntries returns copies of a table's installed entries, for
+// control-plane introspection.
+func (sw *Switch) TableEntries(tbl string) ([]Entry, error) {
+	t, ok := sw.tables[tbl]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tbl)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		c := *e
+		c.Match = append([]MatchValue(nil), e.Match...)
+		c.Args = append([]uint64(nil), e.Args...)
+		out = append(out, c)
+	}
+	return out, nil
+}

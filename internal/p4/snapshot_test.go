@@ -1,0 +1,116 @@
+package p4
+
+import (
+	"testing"
+
+	"stat4/internal/packet"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p, std := buildCounterProgram()
+	sw := mustSwitch(t, p, std)
+	id, err := sw.InsertEntry("bind",
+		[]MatchValue{{Value: uint64(packet.ParseIP4(10, 0, 0, 0)), PrefixLen: 8}},
+		0, "count_at", []uint64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		sw.ProcessFrame(uint64(i), 1, udpTo(packet.ParseIP4(10, 1, 1, 1)))
+	}
+	snap := sw.Snapshot()
+
+	// Diverge: more traffic, entry retargeted.
+	for i := 0; i < 5; i++ {
+		sw.ProcessFrame(uint64(10+i), 1, udpTo(packet.ParseIP4(10, 1, 1, 1)))
+	}
+	if err := sw.ModifyEntry("bind", id, "count_at", []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := sw.Register("counters")
+	if v, _ := reg.Read(4); v != 12 {
+		t.Fatalf("pre-restore counter = %d", v)
+	}
+
+	// Rewind.
+	if err := sw.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Read(4); v != 7 {
+		t.Fatalf("restored counter = %d, want 7", v)
+	}
+	entries, err := sw.TableEntries("bind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Args[0] != 4 || entries[0].ID != id {
+		t.Fatalf("restored entries = %+v", entries)
+	}
+	// The restored state keeps evolving correctly.
+	sw.ProcessFrame(100, 1, udpTo(packet.ParseIP4(10, 1, 1, 1)))
+	if v, _ := reg.Read(4); v != 8 {
+		t.Fatalf("post-restore counter = %d, want 8", v)
+	}
+	// New entries don't collide with preserved IDs.
+	id2, err := sw.InsertEntry("bind",
+		[]MatchValue{{Value: uint64(packet.ParseIP4(11, 0, 0, 0)), PrefixLen: 8}},
+		0, "noop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatal("entry ID reused after restore")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	p, std := buildCounterProgram()
+	sw := mustSwitch(t, p, std)
+	if _, err := sw.InsertEntry("bind",
+		[]MatchValue{{Value: 0, PrefixLen: 1}}, 0, "count_at", []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	snap := sw.Snapshot()
+	// Mutating the snapshot must not touch the live switch.
+	snap.Registers["counters"][2] = 999
+	snap.Entries["bind"][0].Args[0] = 63
+	reg, _ := sw.Register("counters")
+	if v, _ := reg.Read(2); v == 999 {
+		t.Fatal("snapshot aliases live registers")
+	}
+	entries, _ := sw.TableEntries("bind")
+	if entries[0].Args[0] == 63 {
+		t.Fatal("snapshot aliases live entries")
+	}
+}
+
+func TestRestoreRejectsMismatchedShapes(t *testing.T) {
+	p, std := buildCounterProgram()
+	sw := mustSwitch(t, p, std)
+	if err := sw.Restore(&Snapshot{Registers: map[string][]uint64{"ghost": {1}}}); err == nil {
+		t.Fatal("unknown register accepted")
+	}
+	if err := sw.Restore(&Snapshot{Registers: map[string][]uint64{"counters": {1, 2}}}); err == nil {
+		t.Fatal("wrong cell count accepted")
+	}
+	if err := sw.Restore(&Snapshot{Entries: map[string][]Entry{"ghost": {}}}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	bad := Entry{ID: 1, Match: []MatchValue{{PrefixLen: 8}}, Action: "ghost"}
+	if err := sw.Restore(&Snapshot{Entries: map[string][]Entry{"bind": {bad}}}); err == nil {
+		t.Fatal("invalid entry accepted")
+	}
+	// A failed restore must leave state untouched.
+	reg, _ := sw.Register("counters")
+	if v, _ := reg.Read(0); v != 0 {
+		t.Fatal("failed restore mutated state")
+	}
+}
+
+func TestTableEntriesUnknownTable(t *testing.T) {
+	p, std := buildCounterProgram()
+	sw := mustSwitch(t, p, std)
+	if _, err := sw.TableEntries("ghost"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

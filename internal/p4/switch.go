@@ -1,0 +1,382 @@
+package p4
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"stat4/internal/packet"
+)
+
+// NumHashFunctions is the size of the simulated hash-engine family.
+const NumHashFunctions = 4
+
+// hashMuls are the odd multipliers of the multiply-shift hash family. They
+// are shared with core.SparseFreqDist so the reference library and the
+// emitted program place keys in identical buckets.
+var hashMuls = [NumHashFunctions]uint64{
+	0x9e3779b97f4a7c15,
+	0xbf58476d1ce4e5b9,
+	0x94d049bb133111eb,
+	0xd6e8feb86659fd93,
+}
+
+// HashValue computes the id-th hash of v (before masking).
+func HashValue(id int, v uint64) uint64 {
+	h := v * hashMuls[id%NumHashFunctions]
+	return h ^ h>>31
+}
+
+// Digest is an alert record pushed from the data plane to the control plane,
+// the arrow of Figure 1c. Values holds the digested field values in the
+// order the OpDigest listed them.
+type Digest struct {
+	ID     int
+	Values []uint64
+}
+
+// FrameOut is a frame emitted by the switch on an egress port.
+type FrameOut struct {
+	Port uint16
+	Data []byte
+}
+
+// Deparser rebuilds the outgoing frame from the original packet and the
+// final field values. The default deparser forwards the original frame
+// unchanged; applications that synthesise replies (like the echo validation
+// app) install their own.
+type Deparser interface {
+	Deparse(ctx *Ctx, orig *packet.Packet) []byte
+}
+
+type forwardDeparser struct{}
+
+func (forwardDeparser) Deparse(_ *Ctx, orig *packet.Packet) []byte { return orig.Serialize() }
+
+// Ctx is the per-packet execution context: the metadata field values. It is
+// handed to deparsers so they can read what the program computed.
+type Ctx struct {
+	fields []uint64
+	sw     *Switch
+	args   []uint64 // current action parameters
+}
+
+// Get returns a field's current value.
+func (c *Ctx) Get(id FieldID) uint64 { return c.fields[id] }
+
+// Set sets a field, masked to its declared width. Parsers and deparsers use
+// it; program code goes through ops.
+func (c *Ctx) Set(id FieldID, v uint64) {
+	c.fields[id] = v & widthMask(c.sw.prog.Fields[id].Width)
+}
+
+// Stats are the switch's global counters.
+type Stats struct {
+	PktsIn      uint64
+	PktsOut     uint64
+	Dropped     uint64
+	ParseErrors uint64
+	// RuntimeErrors counts data-plane faults the simulator tolerates but
+	// records: out-of-bounds register accesses.
+	RuntimeErrors uint64
+	// DigestDrops counts digests lost because the channel to the control
+	// plane was full.
+	DigestDrops uint64
+}
+
+// Switch interprets a validated Program. ProcessFrame must be called from a
+// single goroutine (the data plane); table and register control-plane
+// methods may be called concurrently with it.
+type Switch struct {
+	prog     *Program
+	std      StdFields
+	regs     map[string]*Register
+	tables   map[string]*table
+	digests  chan Digest
+	deparser Deparser
+
+	pktsIn, pktsOut, dropped uint64
+	parseErrs, runtimeErrs   uint64
+	digestDrops              uint64
+
+	// scratch is the per-packet context, reused across packets since the
+	// data plane is single-threaded (like a pipeline's PHV).
+	scratch    Ctx
+	keyScratch []uint64
+}
+
+// NewSwitch validates the program and instantiates its state. The digest
+// channel is buffered with the given capacity (a bounded mailbox to the
+// controller; 0 picks a default of 1024).
+func NewSwitch(prog *Program, std StdFields, digestBuf int) (*Switch, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if digestBuf <= 0 {
+		digestBuf = 1024
+	}
+	sw := &Switch{
+		prog:     prog,
+		std:      std,
+		regs:     make(map[string]*Register, len(prog.Registers)),
+		tables:   make(map[string]*table, len(prog.Tables)),
+		digests:  make(chan Digest, digestBuf),
+		deparser: forwardDeparser{},
+	}
+	for _, rd := range prog.Registers {
+		sw.regs[rd.Name] = newRegister(rd)
+	}
+	for _, td := range prog.Tables {
+		sw.tables[td.Name] = newTable(td, prog)
+	}
+	return sw, nil
+}
+
+// SetDeparser installs a custom deparser.
+func (sw *Switch) SetDeparser(d Deparser) { sw.deparser = d }
+
+// Digests returns the channel carrying data-plane alerts.
+func (sw *Switch) Digests() <-chan Digest { return sw.digests }
+
+// Program returns the interpreted program.
+func (sw *Switch) Program() *Program { return sw.prog }
+
+// Register returns a register array by name for control-plane access.
+func (sw *Switch) Register(name string) (*Register, error) {
+	r, ok := sw.regs[name]
+	if !ok {
+		return nil, fmt.Errorf("p4: no register %q", name)
+	}
+	return r, nil
+}
+
+// InsertEntry installs a table entry at runtime and returns its ID.
+func (sw *Switch) InsertEntry(tbl string, match []MatchValue, prio int, action string, args []uint64) (EntryID, error) {
+	t, ok := sw.tables[tbl]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tbl)
+	}
+	return t.insert(match, prio, action, args)
+}
+
+// ModifyEntry rebinds an entry's action and arguments in place, the paper's
+// drill-down refinement ("the controller modifies the previously added
+// entry").
+func (sw *Switch) ModifyEntry(tbl string, id EntryID, action string, args []uint64) error {
+	t, ok := sw.tables[tbl]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tbl)
+	}
+	return t.modify(id, action, args)
+}
+
+// DeleteEntry removes an entry.
+func (sw *Switch) DeleteEntry(tbl string, id EntryID) error {
+	t, ok := sw.tables[tbl]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tbl)
+	}
+	return t.remove(id)
+}
+
+// EntryCount returns the number of installed entries in a table.
+func (sw *Switch) EntryCount(tbl string) (int, error) {
+	t, ok := sw.tables[tbl]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tbl)
+	}
+	return t.entryCount(), nil
+}
+
+// Stats returns a snapshot of the switch counters.
+func (sw *Switch) Stats() Stats {
+	return Stats{
+		PktsIn:        atomic.LoadUint64(&sw.pktsIn),
+		PktsOut:       atomic.LoadUint64(&sw.pktsOut),
+		Dropped:       atomic.LoadUint64(&sw.dropped),
+		ParseErrors:   atomic.LoadUint64(&sw.parseErrs),
+		RuntimeErrors: atomic.LoadUint64(&sw.runtimeErrs),
+		DigestDrops:   atomic.LoadUint64(&sw.digestDrops),
+	}
+}
+
+// ProcessFrame runs one frame through the pipeline: parse, execute the
+// control flow, deparse. tsNs is the ingress timestamp in nanoseconds (the
+// simulator's virtual clock). Unparseable frames are dropped and counted,
+// like a real parser's reject state.
+func (sw *Switch) ProcessFrame(tsNs uint64, inPort uint16, data []byte) []FrameOut {
+	atomic.AddUint64(&sw.pktsIn, 1)
+	pkt, err := packet.Parse(data)
+	if err != nil {
+		atomic.AddUint64(&sw.parseErrs, 1)
+		atomic.AddUint64(&sw.dropped, 1)
+		return nil
+	}
+	return sw.processPacket(tsNs, inPort, pkt)
+}
+
+// ProcessPacket is ProcessFrame for callers that already hold a decoded
+// packet; it avoids the serialize/parse round trip in tight simulation
+// loops. The packet must not be mutated while the call runs.
+func (sw *Switch) ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
+	atomic.AddUint64(&sw.pktsIn, 1)
+	return sw.processPacket(tsNs, inPort, pkt)
+}
+
+func (sw *Switch) processPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
+	ctx := &sw.scratch
+	if ctx.fields == nil {
+		ctx.fields = make([]uint64, len(sw.prog.Fields))
+		ctx.sw = sw
+	} else {
+		for i := range ctx.fields {
+			ctx.fields[i] = 0
+		}
+	}
+	sw.std.extract(ctx, tsNs, inPort, pkt)
+	sw.execStmts(ctx, sw.prog.Control)
+	if ctx.fields[sw.std.Drop] != 0 {
+		atomic.AddUint64(&sw.dropped, 1)
+		return nil
+	}
+	out := sw.deparser.Deparse(ctx, pkt)
+	atomic.AddUint64(&sw.pktsOut, 1)
+	return []FrameOut{{Port: uint16(ctx.fields[sw.std.Egress]), Data: out}}
+}
+
+func (sw *Switch) execStmts(ctx *Ctx, stmts []Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case ApplyStmt:
+			t := sw.tables[st.Table]
+			if cap(sw.keyScratch) < len(t.def.Keys) {
+				sw.keyScratch = make([]uint64, len(t.def.Keys))
+			}
+			keys := sw.keyScratch[:len(t.def.Keys)]
+			for i, k := range t.def.Keys {
+				keys[i] = ctx.fields[k.Field]
+			}
+			e := t.lookup(keys)
+			if e != nil {
+				a, _ := sw.prog.action(e.Action)
+				sw.execAction(ctx, a, e.Args)
+			} else if t.def.DefaultAction != "" {
+				a, _ := sw.prog.action(t.def.DefaultAction)
+				sw.execAction(ctx, a, t.def.DefaultArgs)
+			}
+		case CallStmt:
+			a, _ := sw.prog.action(st.Action)
+			sw.execAction(ctx, a, st.Args)
+		case IfStmt:
+			if st.Cond.eval(sw.resolve(ctx, st.Cond.A), sw.resolve(ctx, st.Cond.B)) {
+				sw.execStmts(ctx, st.Then)
+			} else {
+				sw.execStmts(ctx, st.Else)
+			}
+		}
+	}
+}
+
+func (sw *Switch) resolve(ctx *Ctx, r Ref) uint64 {
+	switch r.Kind {
+	case RefConst:
+		return r.Const
+	case RefField:
+		return ctx.fields[r.Field]
+	case RefParam:
+		return ctx.args[r.Param]
+	default:
+		return 0
+	}
+}
+
+func (sw *Switch) execAction(ctx *Ctx, a *Action, args []uint64) {
+	saved := ctx.args
+	ctx.args = args
+	defer func() { ctx.args = saved }()
+	for _, op := range a.Ops {
+		sw.execOp(ctx, op)
+	}
+}
+
+func (sw *Switch) setField(ctx *Ctx, id FieldID, v uint64) {
+	ctx.fields[id] = v & widthMask(sw.prog.Fields[id].Width)
+}
+
+func (sw *Switch) execOp(ctx *Ctx, op Op) {
+	switch op.Code {
+	case OpMov:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A))
+	case OpAdd:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)+sw.resolve(ctx, op.B))
+	case OpSub:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)-sw.resolve(ctx, op.B))
+	case OpMul:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)*sw.resolve(ctx, op.B))
+	case OpSatAdd:
+		w := sw.prog.Fields[op.Dst.Field].Width
+		a, b := sw.resolve(ctx, op.A), sw.resolve(ctx, op.B)
+		max := widthMask(w)
+		sum := a + b
+		if sum < a || sum > max {
+			sum = max
+		}
+		ctx.fields[op.Dst.Field] = sum
+	case OpSatSub:
+		a, b := sw.resolve(ctx, op.A), sw.resolve(ctx, op.B)
+		if b >= a {
+			sw.setField(ctx, op.Dst.Field, 0)
+		} else {
+			sw.setField(ctx, op.Dst.Field, a-b)
+		}
+	case OpAnd:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)&sw.resolve(ctx, op.B))
+	case OpOr:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)|sw.resolve(ctx, op.B))
+	case OpXor:
+		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)^sw.resolve(ctx, op.B))
+	case OpNot:
+		sw.setField(ctx, op.Dst.Field, ^sw.resolve(ctx, op.A))
+	case OpShl:
+		amt := sw.resolve(ctx, op.B)
+		if amt >= 64 {
+			sw.setField(ctx, op.Dst.Field, 0)
+		} else {
+			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)<<amt)
+		}
+	case OpShr:
+		amt := sw.resolve(ctx, op.B)
+		if amt >= 64 {
+			sw.setField(ctx, op.Dst.Field, 0)
+		} else {
+			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)>>amt)
+		}
+	case OpRegRead:
+		r := sw.regs[op.Reg]
+		v, ok := r.read(sw.resolve(ctx, op.A))
+		if !ok {
+			atomic.AddUint64(&sw.runtimeErrs, 1)
+		}
+		sw.setField(ctx, op.Dst.Field, v)
+	case OpRegWrite:
+		r := sw.regs[op.Reg]
+		if !r.write(sw.resolve(ctx, op.A), sw.resolve(ctx, op.B)) {
+			atomic.AddUint64(&sw.runtimeErrs, 1)
+		}
+	case OpHash:
+		sw.setField(ctx, op.Dst.Field, HashValue(op.HashID, sw.resolve(ctx, op.A))&op.B.Const)
+	case OpDigest:
+		d := Digest{ID: op.DigestID, Values: make([]uint64, len(op.Fields))}
+		for i, f := range op.Fields {
+			d.Values[i] = ctx.fields[f]
+		}
+		select {
+		case sw.digests <- d:
+		default:
+			atomic.AddUint64(&sw.digestDrops, 1)
+		}
+	case OpSetEgress:
+		ctx.fields[sw.std.Egress] = sw.resolve(ctx, op.A) & widthMask(sw.prog.Fields[sw.std.Egress].Width)
+	case OpDrop:
+		ctx.fields[sw.std.Drop] = 1
+	}
+}

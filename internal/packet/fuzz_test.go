@@ -1,0 +1,34 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the parser: it must never panic, and
+// whatever parses successfully must re-serialize to something that parses to
+// the same structure (the headers; payload boundaries are normative).
+func FuzzParse(f *testing.F) {
+	f.Add(NewUDPFrame(ParseIP4(10, 0, 0, 1), ParseIP4(10, 0, 5, 6), 1, 2, 32).Serialize())
+	f.Add(NewTCPFrame(1, 2, 3, 4, FlagSYN).Serialize())
+	f.Add(NewEchoFrame(MAC{1}, MAC{2}, -7).Serialize())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.Serialize())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if q.Eth.Type != p.Eth.Type || q.HasIPv4 != p.HasIPv4 ||
+			q.HasTCP != p.HasTCP || q.HasUDP != p.HasUDP {
+			t.Fatalf("round trip changed structure: %+v vs %+v", p, q)
+		}
+		if p.HasIPv4 && (q.IPv4.Src != p.IPv4.Src || q.IPv4.Dst != p.IPv4.Dst || q.IPv4.Proto != p.IPv4.Proto) {
+			t.Fatal("round trip changed IPv4 addressing")
+		}
+	})
+}

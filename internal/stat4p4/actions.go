@@ -1,0 +1,298 @@
+package stat4p4
+
+import "stat4/internal/p4"
+
+// declareUpdateActions declares every internal action of the shared update
+// logic. The actions read and write the m.* scratch fields set by the
+// binding actions. Each statistical measure lives in its own register array
+// indexed by the slot id (Figure 4's "stats" registers), so updates to
+// different measures impose no dependency on one another — which is what
+// keeps the longest sequential chain pipeline-plausible.
+func (l *Library) declareUpdateActions() {
+	f := &l.f
+	std := l.Std
+	add := func(name string, ops ...p4.Op) {
+		l.Prog.AddAction(p4.NewAction(name, 0, ops...))
+	}
+	slot := p4.F(f.slotid)
+
+	// --- frequency mode -------------------------------------------------
+
+	// freq_load: locate the counter and load the moments.
+	add("freq_load",
+		p4.Add(f.idx, p4.F(f.base), p4.F(f.val)),
+		p4.RegRead(f.f, RegCounters, p4.F(f.idx)),
+		p4.RegRead(f.n, RegN, slot),
+		p4.RegRead(f.xsum, RegXsum, slot),
+		p4.RegRead(f.xsumsq, RegXsumsq, slot),
+	)
+
+	// freq_incr_n: first observation of this value.
+	add("freq_incr_n",
+		p4.Add(f.n, p4.F(f.n), p4.C(1)),
+		p4.RegWrite(RegN, slot, p4.F(f.n)),
+	)
+
+	// freq_accum: Xsum += 1, Xsumsq += 2f+1, counter = f+1.
+	add("freq_accum",
+		p4.Add(f.xsum, p4.F(f.xsum), p4.C(1)),
+		p4.RegWrite(RegXsum, slot, p4.F(f.xsum)),
+		p4.Shl(f.t2, p4.F(f.f), p4.C(1)),
+		p4.Add(f.t2, p4.F(f.t2), p4.C(1)),
+		p4.Add(f.xsumsq, p4.F(f.xsumsq), p4.F(f.t2)),
+		p4.RegWrite(RegXsumsq, slot, p4.F(f.xsumsq)),
+		p4.Add(f.fnew, p4.F(f.f), p4.C(1)),
+		p4.RegWrite(RegCounters, p4.F(f.idx), p4.F(f.fnew)),
+	)
+
+	// --- variance -------------------------------------------------------
+
+	if !l.Opts.Strict {
+		// var_mul: sqin = N·Xsumsq − Xsum² (exact, behavioral-model mode).
+		add("var_mul",
+			p4.Mul(f.nss, p4.F(f.n), p4.F(f.xsumsq)),
+			p4.Mul(f.ss, p4.F(f.xsum), p4.F(f.xsum)),
+			p4.SatSub(f.sqin, p4.F(f.nss), p4.F(f.ss)),
+			p4.Mov(f.doSqrt, p4.C(1)),
+		)
+	}
+	// Strict-mode helpers: the shift trees fill nss/ss when the operands
+	// are nonzero; these cover the zero cases and combine.
+	add("var_zero_nss", p4.Mov(f.nss, p4.C(0)))
+	add("var_zero_ss", p4.Mov(f.ss, p4.C(0)))
+	add("var_finish",
+		p4.SatSub(f.sqin, p4.F(f.nss), p4.F(f.ss)),
+		p4.Mov(f.doSqrt, p4.C(1)),
+	)
+
+	// --- percentile (Figure 3) -------------------------------------------
+
+	add("med_load",
+		p4.RegRead(f.med, RegMed, slot),
+		p4.RegRead(f.low, RegLow, slot),
+		p4.RegRead(f.high, RegHigh, slot),
+		p4.RegRead(f.minit, RegMedInit, slot),
+	)
+	// med_seed: the marker starts at the first observed value.
+	add("med_seed",
+		p4.Mov(f.med, p4.F(f.val)),
+		p4.RegWrite(RegMed, slot, p4.F(f.med)),
+		p4.RegWrite(RegMedInit, slot, p4.C(1)),
+	)
+	add("med_inc_low",
+		p4.Add(f.low, p4.F(f.low), p4.C(1)),
+		p4.RegWrite(RegLow, slot, p4.F(f.low)),
+	)
+	add("med_inc_high",
+		p4.Add(f.high, p4.F(f.high), p4.C(1)),
+		p4.RegWrite(RegHigh, slot, p4.F(f.high)),
+	)
+	// med_fmed: the marker's own frequency, read after the counter update
+	// so an observation at the marker is included.
+	add("med_fmed",
+		p4.Add(f.t1, p4.F(f.base), p4.F(f.med)),
+		p4.RegRead(f.fmed, RegCounters, p4.F(f.t1)),
+	)
+	if !l.Opts.Strict {
+		// med_cmp: with weights a:b, move up when a·high > b·(low+f[med]),
+		// down when b·low > a·(high+f[med]). t2 = med+1 feeds the upper
+		// clamp.
+		add("med_cmp",
+			p4.Mul(f.lhs, p4.F(f.pa), p4.F(f.high)),
+			p4.Add(f.rhs, p4.F(f.low), p4.F(f.fmed)),
+			p4.Mul(f.rhs, p4.F(f.pb), p4.F(f.rhs)),
+			p4.Mul(f.lhs2, p4.F(f.pb), p4.F(f.low)),
+			p4.Add(f.rhs2, p4.F(f.high), p4.F(f.fmed)),
+			p4.Mul(f.rhs2, p4.F(f.pa), p4.F(f.rhs2)),
+			p4.Add(f.t2, p4.F(f.med), p4.C(1)),
+		)
+	}
+	// med_cmp_strict: median only (1:1 weights), multiplication-free.
+	add("med_cmp_strict",
+		p4.Mov(f.lhs, p4.F(f.high)),
+		p4.Add(f.rhs, p4.F(f.low), p4.F(f.fmed)),
+		p4.Mov(f.lhs2, p4.F(f.low)),
+		p4.Add(f.rhs2, p4.F(f.high), p4.F(f.fmed)),
+		p4.Add(f.t2, p4.F(f.med), p4.C(1)),
+	)
+	// med_up: the marker's frequency moves to the low side; the slot above
+	// leaves the high side.
+	add("med_up",
+		p4.Add(f.low, p4.F(f.low), p4.F(f.fmed)),
+		p4.RegWrite(RegLow, slot, p4.F(f.low)),
+		p4.Add(f.med, p4.F(f.med), p4.C(1)),
+		p4.RegWrite(RegMed, slot, p4.F(f.med)),
+		p4.Add(f.t1, p4.F(f.base), p4.F(f.med)),
+		p4.RegRead(f.t2, RegCounters, p4.F(f.t1)),
+		p4.Sub(f.high, p4.F(f.high), p4.F(f.t2)),
+		p4.RegWrite(RegHigh, slot, p4.F(f.high)),
+		p4.RegRead(f.t2, RegMedMoves, slot),
+		p4.Add(f.t2, p4.F(f.t2), p4.C(1)),
+		p4.RegWrite(RegMedMoves, slot, p4.F(f.t2)),
+	)
+	add("med_down",
+		p4.Add(f.high, p4.F(f.high), p4.F(f.fmed)),
+		p4.RegWrite(RegHigh, slot, p4.F(f.high)),
+		p4.Sub(f.med, p4.F(f.med), p4.C(1)),
+		p4.RegWrite(RegMed, slot, p4.F(f.med)),
+		p4.Add(f.t1, p4.F(f.base), p4.F(f.med)),
+		p4.RegRead(f.t2, RegCounters, p4.F(f.t1)),
+		p4.Sub(f.low, p4.F(f.low), p4.F(f.t2)),
+		p4.RegWrite(RegLow, slot, p4.F(f.low)),
+		p4.RegRead(f.t2, RegMedMoves, slot),
+		p4.Add(f.t2, p4.F(f.t2), p4.C(1)),
+		p4.RegWrite(RegMedMoves, slot, p4.F(f.t2)),
+	)
+
+	// --- window mode ------------------------------------------------------
+
+	add("win_load",
+		p4.RegRead(f.init, RegIntInit, slot),
+		p4.RegRead(f.last, RegLastInt, slot),
+		p4.RegRead(f.cur, RegCur, slot),
+		p4.RegRead(f.cursq, RegCurSq, slot),
+		p4.RegRead(f.n, RegN, slot),
+		p4.RegRead(f.xsum, RegXsum, slot),
+		p4.RegRead(f.xsumsq, RegXsumsq, slot),
+		p4.RegRead(f.sd, RegSD, slot),
+		p4.RegRead(f.head, RegHead, slot),
+	)
+	add("win_init",
+		p4.RegWrite(RegIntInit, slot, p4.C(1)),
+		p4.RegWrite(RegLastInt, slot, p4.F(f.curint)),
+		p4.Mov(f.last, p4.F(f.curint)),
+	)
+	if !l.Opts.Strict {
+		// win_arm_check: N·x > Xsum + k·σ, evaluated against the stored
+		// distribution before the fold.
+		add("win_arm_check",
+			p4.Mul(f.nx, p4.F(f.n), p4.F(f.cur)),
+			p4.Mul(f.ksd, p4.F(f.k), p4.F(f.sd)),
+			p4.Add(f.thr, p4.F(f.xsum), p4.F(f.ksd)),
+			p4.Mov(f.alertval, p4.F(f.cur)),
+			p4.Mov(f.doCheck, p4.C(1)),
+		)
+	} else {
+		// Strict: the window is full so N is the (power-of-two) capacity,
+		// and k is fixed at 2.
+		add("win_arm_check_strict",
+			p4.Shl(f.nx, p4.F(f.cur), p4.C(uint64(l.Opts.StrictCapShift))),
+			p4.Shl(f.ksd, p4.F(f.sd), p4.C(1)),
+			p4.Add(f.thr, p4.F(f.xsum), p4.F(f.ksd)),
+			p4.Mov(f.alertval, p4.F(f.cur)),
+			p4.Mov(f.doCheck, p4.C(1)),
+		)
+	}
+	// win_fold: override the oldest counter with the completed interval —
+	// the paper's longest dependency chain.
+	add("win_fold",
+		p4.Add(f.idx, p4.F(f.base), p4.F(f.head)),
+		p4.RegRead(f.old, RegCounters, p4.F(f.idx)),
+		p4.RegRead(f.oldsq, RegSquares, p4.F(f.idx)),
+		p4.RegWrite(RegCounters, p4.F(f.idx), p4.F(f.cur)),
+		p4.RegWrite(RegSquares, p4.F(f.idx), p4.F(f.cursq)),
+		p4.Add(f.head, p4.F(f.head), p4.C(1)),
+	)
+	add("win_head_wrap", p4.Mov(f.head, p4.C(0)))
+	add("win_grow",
+		p4.Add(f.n, p4.F(f.n), p4.C(1)),
+		p4.RegWrite(RegN, slot, p4.F(f.n)),
+	)
+	add("win_evict",
+		p4.SatSub(f.xsum, p4.F(f.xsum), p4.F(f.old)),
+		p4.SatSub(f.xsumsq, p4.F(f.xsumsq), p4.F(f.oldsq)),
+	)
+	if !l.Opts.Strict {
+		// win_commit: moments absorb the completed interval; the current
+		// packet opens the next interval with its own contribution δ
+		// (1 for packet counting, the wire length for byte counting).
+		add("win_commit",
+			p4.Add(f.xsum, p4.F(f.xsum), p4.F(f.cur)),
+			p4.RegWrite(RegXsum, slot, p4.F(f.xsum)),
+			p4.Add(f.xsumsq, p4.F(f.xsumsq), p4.F(f.cursq)),
+			p4.RegWrite(RegXsumsq, slot, p4.F(f.xsumsq)),
+			p4.RegWrite(RegHead, slot, p4.F(f.head)),
+			p4.RegWrite(RegLastInt, slot, p4.F(f.curint)),
+			p4.RegWrite(RegCur, slot, p4.F(f.delta)),
+			p4.Mul(f.dsq, p4.F(f.delta), p4.F(f.delta)),
+			p4.RegWrite(RegCurSq, slot, p4.F(f.dsq)),
+		)
+		// win_accum: cur += δ and cur² advances by 2·cur·δ + δ².
+		add("win_accum",
+			p4.Mul(f.t2, p4.F(f.cur), p4.F(f.delta)),
+			p4.Shl(f.t2, p4.F(f.t2), p4.C(1)),
+			p4.Mul(f.dsq, p4.F(f.delta), p4.F(f.delta)),
+			p4.Add(f.t2, p4.F(f.t2), p4.F(f.dsq)),
+			p4.Add(f.cursq, p4.F(f.cursq), p4.F(f.t2)),
+			p4.RegWrite(RegCurSq, slot, p4.F(f.cursq)),
+			p4.Add(f.cur, p4.F(f.cur), p4.F(f.delta)),
+			p4.RegWrite(RegCur, slot, p4.F(f.cur)),
+		)
+	} else {
+		// Strict targets count packets only (δ = 1): the identities
+		// 2·cur+1 and a constant 1 need no multiplication.
+		add("win_commit",
+			p4.Add(f.xsum, p4.F(f.xsum), p4.F(f.cur)),
+			p4.RegWrite(RegXsum, slot, p4.F(f.xsum)),
+			p4.Add(f.xsumsq, p4.F(f.xsumsq), p4.F(f.cursq)),
+			p4.RegWrite(RegXsumsq, slot, p4.F(f.xsumsq)),
+			p4.RegWrite(RegHead, slot, p4.F(f.head)),
+			p4.RegWrite(RegLastInt, slot, p4.F(f.curint)),
+			p4.RegWrite(RegCur, slot, p4.C(1)),
+			p4.RegWrite(RegCurSq, slot, p4.C(1)),
+		)
+		add("win_accum",
+			p4.Shl(f.t2, p4.F(f.cur), p4.C(1)),
+			p4.Add(f.t2, p4.F(f.t2), p4.C(1)),
+			p4.Add(f.cursq, p4.F(f.cursq), p4.F(f.t2)),
+			p4.RegWrite(RegCurSq, slot, p4.F(f.cursq)),
+			p4.Add(f.cur, p4.F(f.cur), p4.C(1)),
+			p4.RegWrite(RegCur, slot, p4.F(f.cur)),
+		)
+	}
+
+	// --- shared tail ------------------------------------------------------
+
+	add("sqrt_store",
+		p4.RegWrite(RegVar, slot, p4.F(f.sqin)),
+		p4.RegWrite(RegSD, slot, p4.F(f.sqout)),
+		p4.Mov(f.sd, p4.F(f.sqout)),
+	)
+	// freq_arm_check: remember which value is under test; the threshold
+	// comparison happens after the fresh σ is stored.
+	add("freq_arm_check",
+		p4.Mov(f.alertval, p4.F(f.val)),
+		p4.Mov(f.doCheck, p4.C(1)),
+	)
+	if !l.Opts.Strict {
+		// freq_thr: N·f' > Xsum + k·σ for the just-incremented counter.
+		add("freq_thr",
+			p4.Mul(f.nx, p4.F(f.n), p4.F(f.fnew)),
+			p4.Mul(f.ksd, p4.F(f.k), p4.F(f.sd)),
+			p4.Add(f.thr, p4.F(f.xsum), p4.F(f.ksd)),
+		)
+	}
+	// freq_thr_strict: k fixed at 2; m.nx is filled by the shift tree.
+	add("freq_thr_strict",
+		p4.Shl(f.ksd, p4.F(f.sd), p4.C(1)),
+		p4.Add(f.thr, p4.F(f.xsum), p4.F(f.ksd)),
+	)
+	add("check_alert",
+		p4.EmitDigest(DigestAnomaly, f.slotid, f.alertval, f.nx, f.thr, std.TsNs),
+	)
+	add("stage_reset",
+		p4.Mov(f.enable, p4.C(0)),
+		p4.Mov(f.doSqrt, p4.C(0)),
+		p4.Mov(f.doCheck, p4.C(0)),
+	)
+	if l.Opts.Echo {
+		// echo_reply: bounce the frame to its ingress port carrying the
+		// refreshed measures; the deparser serialises them.
+		add("echo_reply",
+			p4.Mov(f.repValid, p4.C(1)),
+			p4.SetEgress(p4.F(std.InPort)),
+		)
+	}
+
+	l.declareSqrtActions()
+}

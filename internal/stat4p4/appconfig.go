@@ -1,0 +1,172 @@
+package stat4p4
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+)
+
+// AppConfig is a declarative Stat4 application: the emitted program's sizing
+// plus the routes and binding-table entries a controller installs at startup.
+// It is the file-format face of the paper's Figure 4 — Table 1's use cases
+// each fit in a few JSON lines, and retuning is editing the file and
+// re-applying.
+type AppConfig struct {
+	// Options sizes the emitted program. Zero values take the library
+	// defaults.
+	Options Options `json:"options"`
+
+	Routes   []RouteConfig   `json:"routes,omitempty"`
+	Bindings []BindingConfig `json:"bindings"`
+}
+
+// RouteConfig is one forwarding entry.
+type RouteConfig struct {
+	Prefix string `json:"prefix"` // CIDR; bare addresses are /32
+	Port   uint16 `json:"port"`
+	Drop   bool   `json:"drop,omitempty"` // blackhole instead of forwarding
+}
+
+// MatchSpec selects the packets a binding applies to. Empty fields are
+// wildcards.
+type MatchSpec struct {
+	Echo      bool   `json:"echo,omitempty"`       // echo frames only
+	IPv4      bool   `json:"ipv4,omitempty"`       // require IPv4
+	DstPrefix string `json:"dst_prefix,omitempty"` // CIDR on the destination
+	SynOnly   bool   `json:"syn_only,omitempty"`   // connection-attempt SYNs
+	Priority  int    `json:"priority,omitempty"`
+}
+
+// BindingConfig is one binding-table entry in declarative form.
+type BindingConfig struct {
+	// Kind selects the tracked statistic: window, window-bytes, freq-dst,
+	// freq-dport, freq-proto, freq-len, freq-echo, sparse-dst, sparse-src.
+	Kind  string    `json:"kind"`
+	Stage int       `json:"stage"`
+	Slot  int       `json:"slot"`
+	Match MatchSpec `json:"match"`
+
+	// Window parameters.
+	IntervalShift uint `json:"interval_shift,omitempty"`
+	Capacity      int  `json:"capacity,omitempty"`
+
+	// Frequency/sparse parameters.
+	Shift uint   `json:"shift,omitempty"`
+	Base  uint64 `json:"base,omitempty"`
+	Size  int    `json:"size,omitempty"`
+	PA    uint64 `json:"pa,omitempty"` // percentile weights; 0,0 → median
+	PB    uint64 `json:"pb,omitempty"`
+
+	// K arms the anomaly check at K·σ (0 disables for frequency modes).
+	K uint64 `json:"k,omitempty"`
+}
+
+// LoadAppConfig decodes and sanity-checks a JSON application description.
+func LoadAppConfig(r io.Reader) (*AppConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg AppConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("stat4p4: parse app config: %w", err)
+	}
+	if len(cfg.Bindings) == 0 {
+		return nil, fmt.Errorf("stat4p4: app config has no bindings")
+	}
+	for i := range cfg.Bindings {
+		b := &cfg.Bindings[i]
+		if b.PA == 0 && b.PB == 0 {
+			b.PA, b.PB = 1, 1
+		}
+	}
+	return &cfg, nil
+}
+
+// Apply builds the library, instantiates a runtime, and installs every route
+// and binding. It returns the runtime and the binding entry IDs in config
+// order.
+func (cfg *AppConfig) Apply() (*Runtime, []p4.EntryID, error) {
+	lib := Build(cfg.Options)
+	rt, err := NewRuntime(lib)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range cfg.Routes {
+		pfx, err := packet.ParsePrefix(r.Prefix)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.Drop {
+			_, err = rt.AddDropRoute(pfx)
+		} else {
+			_, err = rt.AddRoute(pfx, r.Port)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("stat4p4: route %q: %w", r.Prefix, err)
+		}
+	}
+	ids := make([]p4.EntryID, 0, len(cfg.Bindings))
+	for i, b := range cfg.Bindings {
+		m, err := b.Match.toMatch()
+		if err != nil {
+			return nil, nil, fmt.Errorf("stat4p4: binding %d: %w", i, err)
+		}
+		id, err := cfg.applyBinding(rt, b, m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stat4p4: binding %d (%s): %w", i, b.Kind, err)
+		}
+		ids = append(ids, id)
+	}
+	return rt, ids, nil
+}
+
+func (ms MatchSpec) toMatch() (Match, error) {
+	var m Match
+	if ms.Echo {
+		t := packet.EtherTypeEcho
+		m.EthType = &t
+	}
+	m.RequireIPv4 = ms.IPv4
+	if ms.DstPrefix != "" {
+		pfx, err := packet.ParsePrefix(ms.DstPrefix)
+		if err != nil {
+			return m, err
+		}
+		m.RequireIPv4 = true
+		m.DstPrefix = &pfx
+	}
+	m.SynOnly = ms.SynOnly
+	m.Priority = ms.Priority
+	return m, nil
+}
+
+func (cfg *AppConfig) applyBinding(rt *Runtime, b BindingConfig, m Match) (p4.EntryID, error) {
+	size := b.Size
+	if size == 0 {
+		size = rt.Library().Opts.Size
+	}
+	switch b.Kind {
+	case "window":
+		return rt.BindWindow(b.Stage, b.Slot, m, b.IntervalShift, b.Capacity, b.K)
+	case "window-bytes":
+		return rt.BindWindowBytes(b.Stage, b.Slot, m, b.IntervalShift, b.Capacity, b.K)
+	case "freq-dst":
+		return rt.BindFreqDst(b.Stage, b.Slot, m, b.Shift, b.Base, size, b.PA, b.PB, b.K)
+	case "freq-dport":
+		return rt.BindFreqDport(b.Stage, b.Slot, m, b.Shift, b.Base, size, b.PA, b.PB, b.K)
+	case "freq-proto":
+		return rt.BindFreqProto(b.Stage, b.Slot, m, b.Base, size, b.PA, b.PB, b.K)
+	case "freq-len":
+		return rt.BindFreqLen(b.Stage, b.Slot, m, b.Shift, b.Base, size, b.PA, b.PB, b.K)
+	case "freq-echo":
+		return rt.BindFreqEcho(b.Stage, b.Slot, m, b.Base, size, b.PA, b.PB, b.K)
+	case "sparse-dst":
+		return rt.BindSparseDst(b.Stage, b.Slot, m, b.Shift, b.K)
+	case "sparse-src":
+		return rt.BindSparseSrc(b.Stage, b.Slot, m, b.Shift, b.K)
+	default:
+		return 0, fmt.Errorf("unknown binding kind %q", b.Kind)
+	}
+}

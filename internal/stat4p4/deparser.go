@@ -1,0 +1,38 @@
+package stat4p4
+
+import (
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+)
+
+// EchoDeparser serialises echo replies for the Figure 5 validation app: when
+// the program marked the packet as a reply, the outgoing frame swaps the
+// Ethernet addresses and carries the refreshed statistical measures read
+// from the final metadata fields. All other packets are forwarded unchanged.
+type EchoDeparser struct {
+	lib *Library
+}
+
+// Deparse implements p4.Deparser.
+func (d EchoDeparser) Deparse(ctx *p4.Ctx, orig *packet.Packet) []byte {
+	f := &d.lib.f
+	if ctx.Get(f.repValid) != 1 {
+		return orig.Serialize()
+	}
+	reply := packet.Packet{
+		Eth: packet.Ethernet{
+			Dst:  orig.Eth.Src,
+			Src:  orig.Eth.Dst,
+			Type: packet.EtherTypeEcho,
+		},
+		Payload: packet.MarshalEchoReply(packet.EchoReply{
+			N:      ctx.Get(f.n),
+			Xsum:   ctx.Get(f.xsum),
+			Xsumsq: ctx.Get(f.xsumsq),
+			Var:    ctx.Get(f.sqin),
+			SD:     ctx.Get(f.sqout),
+			Median: ctx.Get(f.med),
+		}),
+	}
+	return reply.Serialize()
+}

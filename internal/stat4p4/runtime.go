@@ -1,0 +1,386 @@
+package stat4p4
+
+import (
+	"errors"
+	"fmt"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+)
+
+// Runtime is the controller-side handle on a switch running the emitted
+// Stat4 program: it installs and retunes binding-table entries, reads the
+// tracked distributions out of the registers, and exposes the digest stream.
+// All methods are safe to call while the data plane processes packets.
+type Runtime struct {
+	lib *Library
+	sw  *p4.Switch
+}
+
+// NewRuntime instantiates a switch for the library's program, installing the
+// echo deparser when the library was built with Echo.
+func NewRuntime(lib *Library) (*Runtime, error) {
+	sw, err := p4.NewSwitch(lib.Prog, lib.Std, lib.Opts.DigestBuf)
+	if err != nil {
+		return nil, err
+	}
+	if lib.Opts.Echo {
+		sw.SetDeparser(EchoDeparser{lib: lib})
+	}
+	return &Runtime{lib: lib, sw: sw}, nil
+}
+
+// Switch returns the underlying data plane.
+func (rt *Runtime) Switch() *p4.Switch { return rt.sw }
+
+// Library returns the emitted library.
+func (rt *Runtime) Library() *Library { return rt.lib }
+
+// Match selects which packets a binding entry applies to. Zero-value fields
+// are wildcarded.
+type Match struct {
+	EthType     *packet.EtherType // exact ethertype
+	RequireIPv4 bool
+	DstPrefix   *packet.Prefix // IPv4 destination prefix
+	SynOnly     bool           // only connection-attempt SYNs
+	Priority    int            // ternary priority; higher wins
+}
+
+// EchoOnly matches echo frames.
+func EchoOnly() Match {
+	t := packet.EtherTypeEcho
+	return Match{EthType: &t}
+}
+
+// AllIPv4 matches every IPv4 packet.
+func AllIPv4() Match { return Match{RequireIPv4: true} }
+
+// DstIn matches IPv4 packets into a destination prefix.
+func DstIn(p packet.Prefix) Match { return Match{RequireIPv4: true, DstPrefix: &p} }
+
+// SynTo matches connection-attempt SYNs into a destination prefix.
+func SynTo(p packet.Prefix) Match { return Match{RequireIPv4: true, DstPrefix: &p, SynOnly: true} }
+
+// values lowers the match to the binding tables' four ternary keys:
+// [eth.type, ipv4.valid, ipv4.dst, tcp.syn].
+func (m Match) values() []p4.MatchValue {
+	mv := make([]p4.MatchValue, 4)
+	if m.EthType != nil {
+		mv[0] = p4.MatchValue{Value: uint64(*m.EthType), Mask: 0xffff}
+	}
+	if m.RequireIPv4 {
+		mv[1] = p4.MatchValue{Value: 1, Mask: 1}
+	}
+	if m.DstPrefix != nil {
+		mask := uint64(0)
+		if m.DstPrefix.Len > 0 {
+			mask = (^uint64(0) << (32 - uint(m.DstPrefix.Len))) & 0xffffffff
+		}
+		mv[2] = p4.MatchValue{Value: uint64(m.DstPrefix.Addr), Mask: mask}
+	}
+	if m.SynOnly {
+		mv[3] = p4.MatchValue{Value: 1, Mask: 1}
+	}
+	return mv
+}
+
+// Errors returned by binding operations.
+var (
+	ErrBadSlot  = errors.New("stat4p4: slot out of range")
+	ErrBadStage = errors.New("stat4p4: stage out of range")
+	ErrBadSize  = errors.New("stat4p4: distribution exceeds STAT_COUNTER_SIZE")
+	ErrStrict   = errors.New("stat4p4: parameter not representable in strict mode")
+)
+
+func (rt *Runtime) checkSlotStage(stage, slot int) error {
+	if stage < 0 || stage >= rt.lib.Opts.Stages {
+		return fmt.Errorf("%w: %d of %d", ErrBadStage, stage, rt.lib.Opts.Stages)
+	}
+	if slot < 0 || slot >= rt.lib.Opts.Slots {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, rt.lib.Opts.Slots)
+	}
+	return nil
+}
+
+func (rt *Runtime) commonArgs(slot int) (slotBase, slotID uint64) {
+	return uint64(slot * rt.lib.Opts.Size), uint64(slot)
+}
+
+func (rt *Runtime) checkFreq(size int, pa, pb, k uint64) error {
+	if size <= 0 || size > rt.lib.Opts.Size {
+		return fmt.Errorf("%w: %d of %d", ErrBadSize, size, rt.lib.Opts.Size)
+	}
+	if pa == 0 || pb == 0 {
+		return fmt.Errorf("stat4p4: percentile weights must be positive")
+	}
+	if rt.lib.Opts.Strict {
+		if pa != 1 || pb != 1 {
+			return fmt.Errorf("%w: percentile weights %d:%d (strict supports the median only)", ErrStrict, pa, pb)
+		}
+		if k != 0 && k != 2 {
+			return fmt.Errorf("%w: k must be 0 or 2", ErrStrict)
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) insert(stage int, m Match, action string, args []uint64) (p4.EntryID, error) {
+	return rt.sw.InsertEntry(rt.lib.BindTables[stage], m.values(), m.Priority, action, args)
+}
+
+// BindFreqEcho tracks the frequency distribution of the echo test integer on
+// [0, size): observed value = (wire value + EchoBias) − base. pa:pb are the
+// percentile weights (1,1 = median). k ≥ 1 arms the in-switch imbalance
+// check at k standard deviations; k = 0 leaves it off.
+func (rt *Runtime) BindFreqEcho(stage, slot int, m Match, base uint64, size int, pa, pb, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if err := rt.checkFreq(size, pa, pb, k); err != nil {
+		return 0, err
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_freq_echo", []uint64{sb, id, base, uint64(size), pa, pb, k})
+}
+
+// BindFreqDst tracks packets per destination group: observed value =
+// (ipv4.dst >> shift) − base. shift 8 with a /24-aligned base tracks hosts
+// within a /24; shift 16 tracks /24 subnets within a /16, and so on.
+func (rt *Runtime) BindFreqDst(stage, slot int, m Match, shift uint, base uint64, size int, pa, pb, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if err := rt.checkFreq(size, pa, pb, k); err != nil {
+		return 0, err
+	}
+	if shift > 32 {
+		return 0, fmt.Errorf("stat4p4: dst shift %d out of range", shift)
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_freq_dst", []uint64{sb, id, uint64(shift), base, uint64(size), pa, pb, k})
+}
+
+// BindFreqDport tracks packets per TCP destination port group.
+func (rt *Runtime) BindFreqDport(stage, slot int, m Match, shift uint, base uint64, size int, pa, pb, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if err := rt.checkFreq(size, pa, pb, k); err != nil {
+		return 0, err
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_freq_dport", []uint64{sb, id, uint64(shift), base, uint64(size), pa, pb, k})
+}
+
+// BindFreqProto tracks packets by IP protocol — the traffic-classification
+// use case of Table 1.
+func (rt *Runtime) BindFreqProto(stage, slot int, m Match, base uint64, size int, pa, pb, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if err := rt.checkFreq(size, pa, pb, k); err != nil {
+		return 0, err
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_freq_proto", []uint64{sb, id, base, uint64(size), pa, pb, k})
+}
+
+// BindFreqLen tracks the frame-size distribution in 2^shift-byte buckets.
+func (rt *Runtime) BindFreqLen(stage, slot int, m Match, shift uint, base uint64, size int, pa, pb, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if err := rt.checkFreq(size, pa, pb, k); err != nil {
+		return 0, err
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_freq_len", []uint64{sb, id, uint64(shift), base, uint64(size), pa, pb, k})
+}
+
+// BindWindow tracks packets per time interval in a circular window of the
+// given capacity, checking each completed interval against mean + k·σ.
+// Interval length is 2^intervalShift nanoseconds (2^23 ≈ 8.4 ms, the
+// case-study default).
+func (rt *Runtime) BindWindow(stage, slot int, m Match, intervalShift uint, capacity int, k uint64) (p4.EntryID, error) {
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if capacity <= 0 || capacity > rt.lib.Opts.Size {
+		return 0, fmt.Errorf("%w: window capacity %d of %d", ErrBadSize, capacity, rt.lib.Opts.Size)
+	}
+	if intervalShift >= 64 {
+		return 0, fmt.Errorf("stat4p4: interval shift %d out of range", intervalShift)
+	}
+	if rt.lib.Opts.Strict {
+		if capacity != 1<<rt.lib.Opts.StrictCapShift {
+			return 0, fmt.Errorf("%w: window capacity must be %d", ErrStrict, 1<<rt.lib.Opts.StrictCapShift)
+		}
+		if k != 2 {
+			return 0, fmt.Errorf("%w: k must be 2", ErrStrict)
+		}
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_window", []uint64{sb, id, uint64(intervalShift), uint64(capacity), k})
+}
+
+// AddRoute installs an LPM forwarding route: IPv4 packets into the prefix
+// leave on the given port.
+func (rt *Runtime) AddRoute(prefix packet.Prefix, port uint16) (p4.EntryID, error) {
+	return rt.sw.InsertEntry(FwdTable,
+		[]p4.MatchValue{{Value: uint64(prefix.Addr), PrefixLen: prefix.Len}},
+		0, "fwd_set_port", []uint64{uint64(port)})
+}
+
+// AddDropRoute installs an LPM blackhole route — the paper's "locally react
+// to anomalies (e.g., rate limiting some flows)" in its bluntest form.
+func (rt *Runtime) AddDropRoute(prefix packet.Prefix) (p4.EntryID, error) {
+	return rt.sw.InsertEntry(FwdTable,
+		[]p4.MatchValue{{Value: uint64(prefix.Addr), PrefixLen: prefix.Len}},
+		0, "fwd_drop", nil)
+}
+
+// DelRoute removes a forwarding entry.
+func (rt *Runtime) DelRoute(id p4.EntryID) error {
+	return rt.sw.DeleteEntry(FwdTable, id)
+}
+
+// BindWindowBytes tracks bytes per time interval ("traffic volumes over
+// time"): each packet adds its wire length to the current interval. Only
+// available on multiply-capable targets (the squared accumulator needs
+// 2·cur·δ + δ²).
+func (rt *Runtime) BindWindowBytes(stage, slot int, m Match, intervalShift uint, capacity int, k uint64) (p4.EntryID, error) {
+	if rt.lib.Opts.Strict {
+		return 0, fmt.Errorf("%w: byte-counting windows need runtime multiplication", ErrStrict)
+	}
+	if err := rt.checkSlotStage(stage, slot); err != nil {
+		return 0, err
+	}
+	if capacity <= 0 || capacity > rt.lib.Opts.Size {
+		return 0, fmt.Errorf("%w: window capacity %d of %d", ErrBadSize, capacity, rt.lib.Opts.Size)
+	}
+	if intervalShift >= 64 {
+		return 0, fmt.Errorf("stat4p4: interval shift %d out of range", intervalShift)
+	}
+	sb, id := rt.commonArgs(slot)
+	return rt.insert(stage, m, "bind_window_bytes", []uint64{sb, id, uint64(intervalShift), uint64(capacity), k})
+}
+
+// Unbind removes a binding entry.
+func (rt *Runtime) Unbind(stage int, id p4.EntryID) error {
+	if stage < 0 || stage >= rt.lib.Opts.Stages {
+		return fmt.Errorf("%w: %d", ErrBadStage, stage)
+	}
+	return rt.sw.DeleteEntry(rt.lib.BindTables[stage], id)
+}
+
+// Moments is a control-plane snapshot of one distribution's measures.
+type Moments struct {
+	N, Xsum, Xsumsq uint64
+	Var, SD         uint64
+	Median          uint64
+	// MedianMoves is the marker's cumulative movement count; its
+	// per-interval difference is the percentile change rate the paper
+	// names as an anomaly signal.
+	MedianMoves uint64
+}
+
+// ReadMoments reads a distribution's scalar registers.
+func (rt *Runtime) ReadMoments(slot int) (Moments, error) {
+	if slot < 0 || slot >= rt.lib.Opts.Slots {
+		return Moments{}, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	cell := func(name string) uint64 {
+		reg, err := rt.sw.Register(name)
+		if err != nil {
+			return 0
+		}
+		v, _ := reg.Read(slot)
+		return v
+	}
+	return Moments{
+		N: cell(RegN), Xsum: cell(RegXsum), Xsumsq: cell(RegXsumsq),
+		Var: cell(RegVar), SD: cell(RegSD), Median: cell(RegMed),
+		MedianMoves: cell(RegMedMoves),
+	}, nil
+}
+
+// ReadCounters snapshots a distribution's counter cells — what a sketch-only
+// controller would pull. n limits how many cells are returned (≤ Size).
+func (rt *Runtime) ReadCounters(slot, n int) ([]uint64, error) {
+	if slot < 0 || slot >= rt.lib.Opts.Slots {
+		return nil, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	if n <= 0 || n > rt.lib.Opts.Size {
+		n = rt.lib.Opts.Size
+	}
+	reg, err := rt.sw.Register(RegCounters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	base := slot * rt.lib.Opts.Size
+	for i := range out {
+		out[i], _ = reg.Read(base + i)
+	}
+	return out, nil
+}
+
+// ResetSlot zeroes a distribution's counters, squares and metadata so the
+// slot can be rebound to a new value of interest.
+func (rt *Runtime) ResetSlot(slot int) error {
+	if slot < 0 || slot >= rt.lib.Opts.Slots {
+		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	counters, err := rt.sw.Register(RegCounters)
+	if err != nil {
+		return err
+	}
+	squares, err := rt.sw.Register(RegSquares)
+	if err != nil {
+		return err
+	}
+	base := slot * rt.lib.Opts.Size
+	for i := 0; i < rt.lib.Opts.Size; i++ {
+		if err := counters.WriteCell(base+i, 0); err != nil {
+			return err
+		}
+		if err := squares.WriteCell(base+i, 0); err != nil {
+			return err
+		}
+	}
+	if rt.lib.Opts.Sparse {
+		keys, err := rt.sw.Register(RegKeys)
+		if err != nil {
+			return err
+		}
+		used, err := rt.sw.Register(RegUsedBits)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rt.lib.Opts.Size; i++ {
+			if err := keys.WriteCell(base+i, 0); err != nil {
+				return err
+			}
+			if err := used.WriteCell(base+i, 0); err != nil {
+				return err
+			}
+		}
+		rejected, err := rt.sw.Register(RegRejected)
+		if err != nil {
+			return err
+		}
+		if err := rejected.WriteCell(slot, 0); err != nil {
+			return err
+		}
+	}
+	for _, name := range ScalarRegisters {
+		reg, err := rt.sw.Register(name)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteCell(slot, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

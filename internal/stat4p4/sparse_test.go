@@ -1,0 +1,198 @@
+package stat4p4
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stat4/internal/core"
+	"stat4/internal/packet"
+)
+
+// TestSparseCrossValidation drives the same key stream through the emitted
+// hash-bucket logic and core.SparseFreqDist: both use the same hash family,
+// so bucket placement, counts, moments and rejection totals must agree
+// exactly.
+func TestSparseCrossValidation(t *testing.T) {
+	const size = 256
+	rt := mustRuntime(t, Options{Slots: 1, Size: size, Stages: 1, Sparse: true})
+	if _, err := rt.BindSparseDst(0, 0, AllIPv4(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewSparseFreqDist(size, 2)
+	sw := rt.Switch()
+	rng := rand.New(rand.NewSource(31))
+
+	keys := make([]uint64, 300) // 300 keys into 256 buckets: rejections happen
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32())
+	}
+	for i := 0; i < 20000; i++ {
+		key := keys[rng.Intn(len(keys))]
+		sw.ProcessFrame(uint64(i), 1, packet.NewUDPFrame(1, packet.IP4(key), 5, 80, 10).Serialize())
+		_ = ref.Observe(key) // rejections expected; both sides must agree
+	}
+
+	m, err := rt.ReadMoments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := ref.Moments()
+	if m.N != cm.N || m.Xsum != cm.Sum || m.Xsumsq != cm.Sumsq {
+		t.Fatalf("switch (N=%d,sum=%d,sumsq=%d) core (%d,%d,%d)",
+			m.N, m.Xsum, m.Xsumsq, cm.N, cm.Sum, cm.Sumsq)
+	}
+	if m.Var != cm.Variance() || m.SD != cm.StdDev() {
+		t.Fatalf("switch var/sd %d/%d core %d/%d", m.Var, m.SD, cm.Variance(), cm.StdDev())
+	}
+	rej, err := rt.SparseRejected(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej != ref.Rejected {
+		t.Fatalf("switch rejected %d, core %d", rej, ref.Rejected)
+	}
+	if rej == 0 {
+		t.Fatal("test vacuous: no rejections at 117% load")
+	}
+
+	// Per-key counts agree.
+	entries, err := rt.ReadSparse(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != ref.Active() {
+		t.Fatalf("switch tracks %d keys, core %d", len(entries), ref.Active())
+	}
+	for _, e := range entries {
+		if got := ref.Count(e.Key); got != e.Count {
+			t.Fatalf("key %d: switch %d, core %d", e.Key, e.Count, got)
+		}
+	}
+}
+
+// TestSparseHotKeyAlert: the armed check names the hot key itself in the
+// digest — per-destination DDoS detection over a huge domain with tiny
+// memory.
+func TestSparseHotKeyAlert(t *testing.T) {
+	rt := mustRuntime(t, Options{Slots: 1, Size: 128, Stages: 1, Sparse: true})
+	// Track /32 destinations across the whole IPv4 space (shift 0).
+	if _, err := rt.BindSparseDst(0, 0, AllIPv4(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	rng := rand.New(rand.NewSource(7))
+	dests := make([]packet.IP4, 20)
+	for i := range dests {
+		dests[i] = packet.IP4(rng.Uint32())
+	}
+	// Balanced phase.
+	for round := 0; round < 100; round++ {
+		for _, d := range dests {
+			sw.ProcessFrame(uint64(round), 1, packet.NewUDPFrame(1, d, 5, 80, 10).Serialize())
+		}
+	}
+	drainAnomalies(sw)
+	// One destination goes hot.
+	hot := dests[7]
+	for i := 0; i < 500; i++ {
+		sw.ProcessFrame(uint64(10000+i), 1, packet.NewUDPFrame(1, hot, 5, 80, 10).Serialize())
+	}
+	digests := drainAnomalies(sw)
+	if len(digests) == 0 {
+		t.Fatal("hot key never alerted")
+	}
+	for _, d := range digests {
+		if d.Values[1] != uint64(hot) {
+			t.Fatalf("digest names key %d, want %d", d.Values[1], uint64(hot))
+		}
+	}
+}
+
+// TestSparseSrcBinding tracks sources instead of destinations.
+func TestSparseSrcBinding(t *testing.T) {
+	rt := mustRuntime(t, Options{Slots: 1, Size: 64, Stages: 1, Sparse: true})
+	if _, err := rt.BindSparseSrc(0, 0, AllIPv4(), 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	// Three sources in distinct /24s.
+	for i, src := range []packet.IP4{
+		packet.ParseIP4(1, 1, 1, 9), packet.ParseIP4(1, 1, 1, 200), packet.ParseIP4(2, 2, 2, 2),
+	} {
+		for n := 0; n <= i; n++ {
+			sw.ProcessFrame(uint64(i*10+n), 1, packet.NewUDPFrame(src, 9, 5, 80, 10).Serialize())
+		}
+	}
+	entries, err := rt.ReadSparse(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources 1 and 2 share a /24 key (shift 8): two distinct keys total.
+	if len(entries) != 2 {
+		t.Fatalf("tracked %d keys, want 2", len(entries))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Count < entries[j].Count })
+	if entries[0].Count != 3 || entries[1].Count != 3 {
+		t.Fatalf("counts = %+v, want 3 and 3", entries)
+	}
+}
+
+func TestSparseBindingValidation(t *testing.T) {
+	dense := mustRuntime(t, Options{Slots: 1, Size: 64, Stages: 1})
+	if _, err := dense.BindSparseDst(0, 0, AllIPv4(), 0, 0); err == nil {
+		t.Fatal("sparse bind accepted on a library built without Sparse")
+	}
+	sparse := mustRuntime(t, Options{Slots: 1, Size: 64, Stages: 1, Sparse: true})
+	if _, err := sparse.BindSparseDst(0, 0, AllIPv4(), 40, 0); err == nil {
+		t.Fatal("out-of-range shift accepted")
+	}
+	if _, err := sparse.BindSparseDst(0, 9, AllIPv4(), 0, 0); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sparse with non-power-of-two Size did not panic")
+		}
+	}()
+	Build(Options{Slots: 1, Size: 100, Stages: 1, Sparse: true})
+}
+
+// TestSparseStrictLegal: the sparse logic uses only the hash engine and
+// plain ops, so it validates on the multiplication-free target too.
+func TestSparseStrictLegal(t *testing.T) {
+	lib := Build(Options{Slots: 1, Size: 64, Stages: 1, Sparse: true, Strict: true, StrictCapShift: 4})
+	if err := lib.Prog.Validate(); err != nil {
+		t.Fatalf("strict sparse program invalid: %v", err)
+	}
+}
+
+// TestSparseResetSlot: retuning a sparse slot must clear keys, valid bits
+// and the rejection counter, not just the counters.
+func TestSparseResetSlot(t *testing.T) {
+	rt := mustRuntime(t, Options{Slots: 1, Size: 8, Stages: 1, Sparse: true})
+	if _, err := rt.BindSparseDst(0, 0, AllIPv4(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	for k := uint64(0); k < 32; k++ { // force rejections too
+		sw.ProcessFrame(k, 1, packet.NewUDPFrame(1, packet.IP4(k*7919), 5, 80, 10).Serialize())
+	}
+	if entries, _ := rt.ReadSparse(0); len(entries) == 0 {
+		t.Fatal("nothing tracked before reset")
+	}
+	if err := rt.ResetSlot(0); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := rt.ReadSparse(0); len(entries) != 0 {
+		t.Fatalf("%d stale buckets after reset", len(entries))
+	}
+	if rej, _ := rt.SparseRejected(0); rej != 0 {
+		t.Fatalf("stale rejection counter %d after reset", rej)
+	}
+	// The slot is usable again.
+	sw.ProcessFrame(100, 1, packet.NewUDPFrame(1, packet.IP4(42), 5, 80, 10).Serialize())
+	if entries, _ := rt.ReadSparse(0); len(entries) != 1 || entries[0].Key != 42 {
+		t.Fatalf("slot unusable after reset: %+v", entries)
+	}
+}

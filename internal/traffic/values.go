@@ -1,0 +1,52 @@
+package traffic
+
+import "math/rand"
+
+// ValueStream produces the integer values of interest behind the error
+// tables: Table 3 feeds the median tracker with uniform values from [0, N);
+// the broader experiments also use normal and zipfian streams (the paper's
+// Section 5 names zipfian per-prefix distributions as the hard case).
+type ValueStream func(rng *rand.Rand) uint64
+
+// UniformValues draws uniformly from [0, n).
+func UniformValues(n uint64) ValueStream {
+	return func(rng *rand.Rand) uint64 {
+		return uint64(rng.Int63n(int64(n)))
+	}
+}
+
+// NormalValues draws from a normal distribution with the given mean and
+// standard deviation, clamped to [0, max].
+func NormalValues(mean, sd float64, max uint64) ValueStream {
+	return func(rng *rand.Rand) uint64 {
+		v := rng.NormFloat64()*sd + mean
+		if v < 0 {
+			return 0
+		}
+		if v > float64(max) {
+			return max
+		}
+		return uint64(v)
+	}
+}
+
+// ZipfValues draws from a zipfian distribution over [0, n) with exponent s.
+func ZipfValues(s float64, n uint64, seed int64) ValueStream {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, n-1)
+	return func(*rand.Rand) uint64 {
+		return z.Uint64()
+	}
+}
+
+// BimodalValues mixes two normal modes — the Section 5 example of a
+// distribution the controller would split into separately tracked modes.
+func BimodalValues(meanA, meanB, sd float64, weightA float64, max uint64) ValueStream {
+	a := NormalValues(meanA, sd, max)
+	b := NormalValues(meanB, sd, max)
+	return func(rng *rand.Rand) uint64 {
+		if rng.Float64() < weightA {
+			return a(rng)
+		}
+		return b(rng)
+	}
+}
