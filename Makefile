@@ -1,0 +1,44 @@
+# Stat4 build and correctness gate. CI (.github/workflows/ci.yml) runs the
+# same targets; `make check` is the full local equivalent.
+
+GO ?= go
+
+.PHONY: all build test race vet lint fuzz-smoke check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race uses -short: instrumentation slows the minutes-long virtual-time
+# experiment sweeps past the test timeout, and they are single-threaded
+# anyway — the concurrency surface (controller, registers, tables, netem)
+# is fully exercised by the short suite.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the switch-feasibility gate both ways: the standalone whole-module
+# driver (authoritative: the datapath closure crosses package boundaries) and
+# through go vet's -vettool protocol (what editor integrations use).
+lint:
+	$(GO) run ./cmd/stat4-lint ./...
+	$(GO) build -o $(CURDIR)/bin/stat4-lint ./cmd/stat4-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/stat4-lint ./...
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# regressions in the parser round-trip and sqrt invariants without stalling CI.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzSqrtApprox -fuzztime=$(FUZZTIME) ./internal/intstat/
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/packet/
+
+check: build vet lint race fuzz-smoke
+
+clean:
+	rm -rf bin

@@ -1,0 +1,125 @@
+// Command stat4-lint enforces the switch-feasibility invariants of "Stats
+// 101 in P4" on the Go datapath: functions marked //stat4:datapath (and
+// everything they transitively call within the module) must be integer-only,
+// division-free, loop-free, bounded straight-line code. See internal/lint
+// for the analyzers.
+//
+// Standalone (whole-module, authoritative):
+//
+//	go run ./cmd/stat4-lint ./...
+//
+// As a go vet tool (modular, per package):
+//
+//	go build -o stat4-lint ./cmd/stat4-lint
+//	go vet -vettool=$(pwd)/stat4-lint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stat4/internal/lint"
+)
+
+func main() {
+	// The go vet protocol probes the tool before use: `-V=full` must print
+	// a stable version line for build caching, `-flags` the tool's flag
+	// schema, and a lone *.cfg argument selects modular unit mode.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if args := os.Args[1:]; len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0])
+		return
+	}
+
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dir := flag.String("C", "", "change to this directory before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stat4-lint [-json] [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := lint.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod, lint.Analyzers())
+	emit(diags, *jsonOut)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runUnit is the `go vet -vettool` entry point: analyze one package
+// described by a vet config file.
+func runUnit(cfgFile string) {
+	diags, err := lint.RunUnit(cfgFile, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		emit(diags, false)
+		os.Exit(2) // the exit code `go vet` treats as "diagnostics found"
+	}
+}
+
+func emit(diags []lint.Diagnostic, asJSON bool) {
+	if asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+}
+
+// printVersion emits the `-V=full` line `go vet` hashes into its build
+// cache key; including a digest of the executable invalidates cached vet
+// results when the tool itself changes.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}

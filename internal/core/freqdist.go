@@ -57,6 +57,8 @@ func (d *FreqDist) Moments() *Moments { return &d.m }
 // Observe records one occurrence of value v: the counter for v is
 // incremented, the moments updated incrementally, and every registered
 // percentile marker advanced by at most one slot.
+//
+//stat4:datapath
 func (d *FreqDist) Observe(v uint64) error {
 	if v >= uint64(len(d.freq)) {
 		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, v, len(d.freq))
@@ -64,6 +66,7 @@ func (d *FreqDist) Observe(v uint64) error {
 	f := d.freq[v]
 	d.m.AddFrequency(f, f == 0)
 	d.freq[v] = f + 1
+	//stat4:exempt:boundedloop markers are registered at configuration time; the emitted program unrolls one stage per marker
 	for _, p := range d.pct {
 		p.observe(d, v)
 	}
@@ -74,7 +77,10 @@ func (d *FreqDist) Observe(v uint64) error {
 // without recording a value. The paper notes that packets not carrying
 // values of interest still contribute to moving the median; switch
 // applications call Step for such packets.
+//
+//stat4:datapath
 func (d *FreqDist) Step() {
+	//stat4:exempt:boundedloop markers are registered at configuration time; the emitted program unrolls one stage per marker
 	for _, p := range d.pct {
 		p.step(d)
 	}
@@ -146,6 +152,8 @@ func (p *Percentile) reset() {
 
 // observe accounts a new occurrence of v (already counted in d.freq) and then
 // rebalances by one slot at most.
+//
+//stat4:datapath
 func (p *Percentile) observe(d *FreqDist, v uint64) {
 	if !p.inited {
 		// The marker starts at the first observed value, not at the edge
@@ -168,6 +176,8 @@ func (p *Percentile) observe(d *FreqDist, v uint64) {
 // marker up when a·high > b·(low + f[idx]), down when b·low > a·(high +
 // f[idx]). Moving one slot transfers the marker's own frequency to the side
 // it leaves behind.
+//
+//stat4:datapath
 func (p *Percentile) step(d *FreqDist) {
 	if !p.inited {
 		return
@@ -194,6 +204,8 @@ func (p *Percentile) step(d *FreqDist) {
 // rules out ("we want to avoid packet recirculation"). The benchmarks
 // quantify what that restriction costs in accuracy and what recirculation
 // would cost in work.
+//
+//stat4:reference multi-step settling needs packet recirculation, which the paper rules out
 func (p *Percentile) Settle(d *FreqDist, maxSteps int) int {
 	steps := 0
 	for steps < maxSteps {

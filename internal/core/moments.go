@@ -50,6 +50,8 @@ func NewMoments(n, sum, sumsq uint64) Moments {
 
 // AddSample folds a new value into the moments: N += 1, Xsum += x,
 // Xsumsq += x².
+//
+//stat4:datapath
 func (m *Moments) AddSample(x uint64) {
 	m.N++
 	m.Sum += x
@@ -61,6 +63,8 @@ func (m *Moments) AddSample(x uint64) {
 // window overwrites its oldest counter. N is left unchanged by Window (the
 // window stays full); callers that shrink the population decrement N
 // themselves.
+//
+//stat4:datapath
 func (m *Moments) RemoveSample(x uint64) {
 	m.Sum = intstat.SatSub(m.Sum, x)
 	m.Sumsq = intstat.SatSub(m.Sumsq, x*x)
@@ -72,6 +76,8 @@ func (m *Moments) RemoveSample(x uint64) {
 // Xsumsq += 2f + 1 (the incremental identity that avoids runtime squaring).
 // newValue reports whether this is the first observation of the value, in
 // which case N grows.
+//
+//stat4:datapath
 func (m *Moments) AddFrequency(f uint64, newValue bool) {
 	if newValue {
 		m.N++
@@ -82,6 +88,8 @@ func (m *Moments) AddFrequency(f uint64, newValue bool) {
 }
 
 // Mean returns the mean of the scaled distribution NX, which is exactly Xsum.
+//
+//stat4:datapath
 func (m *Moments) Mean() uint64 { return m.Sum }
 
 // Variance returns the variance of NX: N·Xsumsq − Xsum². The result
@@ -90,6 +98,8 @@ func (m *Moments) Mean() uint64 { return m.Sum }
 // value that would mask anomalies. By the Cauchy–Schwarz inequality the
 // mathematical value is never negative; saturating subtraction guards the
 // integer computation all the same.
+//
+//stat4:datapath
 func (m *Moments) Variance() uint64 {
 	hi, lo := bits.Mul64(m.N, m.Sumsq)
 	shi, slo := bits.Mul64(m.Sum, m.Sum)
@@ -108,6 +118,8 @@ func (m *Moments) Variance() uint64 {
 // StdDev returns the approximate standard deviation of NX, the Figure 2
 // square root of Variance. The value is cached and recomputed only when the
 // moments have changed since the last read.
+//
+//stat4:datapath
 func (m *Moments) StdDev() uint64 {
 	if m.dirty {
 		m.sd = intstat.SqrtApprox(m.Variance())
@@ -120,6 +132,8 @@ func (m *Moments) StdDev() uint64 {
 // StdDevEager recomputes the standard deviation unconditionally. It is the
 // eager partner in the lazy-vs-eager ablation and is otherwise equivalent to
 // StdDev.
+//
+//stat4:datapath
 func (m *Moments) StdDevEager() uint64 {
 	m.sd = intstat.SqrtApprox(m.Variance())
 	m.dirty = false
@@ -131,6 +145,8 @@ func (m *Moments) StdDevEager() uint64 {
 // deviations above the mean, evaluated entirely in NX space:
 // N·x > Xsum + k·σ(NX). This is the paper's outlier test for normally
 // distributed values of interest.
+//
+//stat4:datapath
 func (m *Moments) IsOutlierAbove(x, k uint64) bool {
 	hi, lo := bits.Mul64(m.N, x)
 	if hi != 0 {
@@ -148,6 +164,8 @@ func (m *Moments) IsOutlierAbove(x, k uint64) bool {
 
 // IsOutlierBelow reports whether x sits more than k standard deviations below
 // the mean: N·x + k·σ(NX) < Xsum.
+//
+//stat4:datapath
 func (m *Moments) IsOutlierBelow(x, k uint64) bool {
 	hi, lo := bits.Mul64(m.N, x)
 	if hi != 0 {

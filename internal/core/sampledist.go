@@ -44,6 +44,8 @@ func (d *SampleDist) Samples() []uint64 { return d.cells[:d.n] }
 
 // Observe stores a new sample and folds it into the moments. It returns
 // ErrFull when every cell is occupied.
+//
+//stat4:datapath
 func (d *SampleDist) Observe(x uint64) error {
 	if d.n == len(d.cells) {
 		return fmt.Errorf("%w: capacity %d", ErrFull, len(d.cells))
@@ -57,6 +59,8 @@ func (d *SampleDist) Observe(x uint64) error {
 // AddAt increases the sample at index i by delta, updating the moments with
 // the (x+δ)² identity. This is how per-key accumulators (e.g. bytes per /24
 // subnet) grow while remaining a sample-mode distribution over keys.
+//
+//stat4:datapath
 func (d *SampleDist) AddAt(i int, delta uint64) error {
 	if i < 0 || i >= d.n {
 		return fmt.Errorf("%w: index %d with %d samples", ErrOutOfRange, i, d.n)

@@ -71,19 +71,25 @@ func (d *SparseFreqDist) Moments() *Moments { return &d.m }
 // probe returns the bucket index for the w-th hash of key, using the same
 // hash family as the switch simulator's hash engine so the reference and the
 // emitted program place keys identically. Power-of-two tables mask (what a
-// P4 target does); other sizes reduce modulo.
+// P4 target does); other sizes reduce modulo — a host-side convenience: the
+// emitted programs always size tables to powers of two.
+//
+//stat4:datapath
 func (d *SparseFreqDist) probe(key uint64, w int) int {
 	h := p4.HashValue(w, key)
 	n := uint64(len(d.keys))
 	if n&(n-1) == 0 {
 		return int(h & (n - 1))
 	}
-	return int(h % n)
+	return int(h % n) //stat4:exempt:nodivide host-only path: emitted programs use power-of-two tables, masked above
 }
 
 // locate finds the bucket holding key, or a free candidate, or neither.
+//
+//stat4:datapath
 func (d *SparseFreqDist) locate(key uint64) (idx int, found bool, free int) {
 	free = -1
+	//stat4:exempt:boundedloop ways is fixed at configuration time; the emitted program unrolls one probe stage per way
 	for w := 0; w < d.ways; w++ {
 		i := d.probe(key, w)
 		if d.used[i] && d.keys[i] == key {
@@ -99,6 +105,8 @@ func (d *SparseFreqDist) locate(key uint64) (idx int, found bool, free int) {
 // Observe records one occurrence of key. When the key is new it claims a
 // free candidate bucket; with none available the observation is rejected and
 // counted, since silently aliasing two keys would corrupt the moments.
+//
+//stat4:datapath
 func (d *SparseFreqDist) Observe(key uint64) error {
 	idx, found, free := d.locate(key)
 	if !found {

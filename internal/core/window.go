@@ -58,6 +58,8 @@ func (w *Window) Cells() []uint64 { return w.cells }
 // packet, or the packet length in bytes). The squared shadow advances with
 // the (x+δ)² = x² + 2xδ + δ² identity, which for δ known per packet is
 // shift-and-add work on a P4 target.
+//
+//stat4:datapath
 func (w *Window) Add(delta uint64) {
 	w.cursq += 2*w.cur*delta + delta*delta
 	w.cur += delta
@@ -67,6 +69,8 @@ func (w *Window) Add(delta uint64) {
 // moments, the oldest cell is evicted if the buffer is full, and a fresh
 // interval begins. It returns the completed counter value and whether the
 // window was already full (so an eviction happened).
+//
+//stat4:datapath
 func (w *Window) Tick() (completed uint64, evicted bool) {
 	completed = w.cur
 	if w.filled == len(w.cells) {
@@ -84,7 +88,12 @@ func (w *Window) Tick() (completed uint64, evicted bool) {
 	w.m.Sum += w.cur
 	w.m.Sumsq += w.cursq
 	w.m.dirty = true
-	w.head = (w.head + 1) % len(w.cells)
+	// Advance the head with a compare-and-reset rather than a modulo: this
+	// is exactly the emitted win_head_wrap action, and P4 has no %.
+	w.head++
+	if w.head == len(w.cells) {
+		w.head = 0
+	}
 	w.cur, w.cursq = 0, 0
 	return completed, evicted
 }
@@ -94,6 +103,8 @@ func (w *Window) Tick() (completed uint64, evicted bool) {
 // check. Callers typically invoke it with the value returned by Tick,
 // against the moments as they stood before folding — use CheckThenTick for
 // that exact sequencing.
+//
+//stat4:datapath
 func (w *Window) Outlier(v, k uint64) bool {
 	return w.m.IsOutlierAbove(v, k)
 }
@@ -104,6 +115,8 @@ func (w *Window) Outlier(v, k uint64) bool {
 // stored distribution plus two standard deviations". The check is skipped
 // (returns false) until the window has folded at least two intervals, since
 // a variance needs two samples to mean anything.
+//
+//stat4:datapath
 func (w *Window) CheckThenTick(k uint64) (value uint64, anomalous bool) {
 	v := w.cur
 	if w.filled >= 2 {

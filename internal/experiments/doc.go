@@ -1,0 +1,13 @@
+// Package experiments reproduces the paper's quantitative claims as runnable
+// measurements: the Table 2 square-root error profile, the Table 3 percentile
+// accuracy sweep, the case-study detection timeline, resource footprints per
+// emission mode, and the ablations the reference library enables (lazy vs
+// eager standard deviation, one-step vs settled percentile markers, strict vs
+// multiply-capable emission).
+//
+// Each experiment is a pure function from parameters to result rows so the
+// test suite can assert on the numbers and cmd/stat4-experiments can print
+// them as tables. Everything here is host-side analysis code: nothing in this
+// package is annotated //stat4:datapath, and it may freely use floating
+// point, division and iteration that the datapath packages cannot.
+package experiments

@@ -6,15 +6,23 @@ package intstat
 // powers of two; each term turns into one shift of a plus one add. terms == 1
 // keeps the order of magnitude only; terms == 2 bounds the relative error by
 // 25%; larger values converge to the exact product.
+//
+// terms is a compile-time parameter of an emitted program (each term is one
+// unrolled shift-and-add stage), and the per-term shift amounts come from the
+// MSB if-chain whose leaves shift by constants — which is what the
+// exemptions below record.
+//
+//stat4:datapath
 func MulShift(a, b uint64, terms int) uint64 {
 	if a == 0 || b == 0 {
 		return 0
 	}
 	var sum uint64
+	//stat4:exempt:boundedloop terms is a compile-time parameter; each iteration is one unrolled shift-and-add stage
 	for i := 0; i < terms && b != 0; i++ {
-		e := MSB(b)
-		sum += a << uint(e)
-		b &^= 1 << uint(e)
+		e := MSBIfChain(b)
+		sum += a << uint(e) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
+		b &^= 1 << uint(e)  //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	}
 	return sum
 }
@@ -22,22 +30,32 @@ func MulShift(a, b uint64, terms int) uint64 {
 // SquareApprox approximates y² as MulShift(y, y, 2). With two terms the
 // result keeps the two leading bits of one operand:
 // y = 2^e + r  ⇒  y² ≈ y·2^e + y·2^f where f is the position of r's MSB.
+//
+//stat4:datapath
 func SquareApprox(y uint64) uint64 {
 	return MulShift(y, y, 2)
 }
 
 // SquareExact returns y², wrapping on overflow like a P4 register would.
+// Multiplying two runtime values is only available on AllowMul targets; this
+// is the reference the approximation error tables compare against.
+//
+//stat4:reference exact product used only to quantify MulShift error
 func SquareExact(y uint64) uint64 { return y * y }
 
 // IncSumsq returns the adjustment to Xsumsq when a frequency counter moves
 // from x to x+1: (x+1)² − x² = 2x + 1. This is the identity that lets Stat4
 // maintain a sum of squares without ever squaring a runtime value.
+//
+//stat4:datapath
 func IncSumsq(x uint64) uint64 { return 2*x + 1 }
 
 // SatAdd returns a+b saturating at the maximum value representable in
 // `width` bits. Stat4 registers use saturation for the moment accumulators so
 // that an overflowing distribution reads as "huge", not as a small wrapped
 // value that would mask an anomaly.
+//
+//stat4:datapath
 func SatAdd(a, b uint64, width uint) uint64 {
 	max := Mask(width)
 	if a > max {
@@ -53,6 +71,8 @@ func SatAdd(a, b uint64, width uint) uint64 {
 }
 
 // SatSub returns a−b saturating at zero.
+//
+//stat4:datapath
 func SatSub(a, b uint64) uint64 {
 	if b >= a {
 		return 0
@@ -61,9 +81,13 @@ func SatSub(a, b uint64) uint64 {
 }
 
 // Mask returns the all-ones value of the given bit width (1 ≤ width ≤ 64).
+// width is the register cell width, fixed when the program is emitted, so the
+// shift below is a constant on the target.
+//
+//stat4:datapath
 func Mask(width uint) uint64 {
 	if width >= 64 {
 		return ^uint64(0)
 	}
-	return 1<<width - 1
+	return 1<<width - 1 //stat4:exempt:shiftconst width is the compile-time register cell width
 }

@@ -7,12 +7,19 @@
 // operations used are comparisons, additions, subtractions, bitwise logic and
 // shifts by compile-time constants. The package is the ground truth for the
 // op sequences emitted by internal/stat4p4; tests cross-check the two.
+//
+// That claim is machine-checked: the switch-feasible routines carry a
+// //stat4:datapath directive and cmd/stat4-lint enforces the constraints;
+// the exact routines that exist only to quantify approximation error carry
+// //stat4:reference and may not be reached from any datapath function.
 package intstat
 
 // BitLen returns the number of bits required to represent v, i.e. one plus
 // the position of the most significant set bit, and 0 for v == 0. It is the
 // reference implementation; MSBIfChain and MSBLinear compute the same value
 // using only the control flow available in P4.
+//
+//stat4:reference iterating reference implementation of MSBIfChain
 func BitLen(v uint64) int {
 	n := 0
 	for v != 0 {
@@ -24,6 +31,8 @@ func BitLen(v uint64) int {
 
 // MSB returns the zero-based position of the most significant set bit of v.
 // It returns -1 for v == 0.
+//
+//stat4:reference thin wrapper over the iterating BitLen
 func MSB(v uint64) int {
 	return BitLen(v) - 1
 }
@@ -32,6 +41,8 @@ func MSB(v uint64) int {
 // search, mirroring the "sequence of ifs" the Stat4 library uses on targets
 // without a priority encoder. For a 64-bit operand the chain is 6 sequential
 // comparisons deep. It returns -1 for v == 0.
+//
+//stat4:datapath
 func MSBIfChain(v uint64) int {
 	if v == 0 {
 		return -1
@@ -68,9 +79,12 @@ func MSBIfChain(v uint64) int {
 // comparisons but each is independent of the last result except through the
 // running answer, which is how a naive P4 implementation lays it out. It
 // returns -1 for v == 0. It exists as the ablation partner of MSBIfChain.
+//
+//stat4:datapath
 func MSBLinear(v uint64) int {
+	//stat4:exempt:boundedloop fixed 64-iteration scan, laid out as 64 sequential ifs on the target
 	for i := 63; i >= 0; i-- {
-		if v >= 1<<uint(i) {
+		if v >= 1<<uint(i) { //stat4:exempt:shiftconst i is the unrolled iteration index, a per-if constant on the target
 			return i
 		}
 	}
@@ -87,42 +101,51 @@ func MSBLinear(v uint64) int {
 // The algorithm interpolates between successive squares of the form 2^(2k):
 // SqrtApprox(106) == 10, and SqrtApprox(3) == 1 (high relative error for very
 // small operands, as Table 2 of the paper notes).
+//
+// The shifts below depend on the exponent e, a runtime value; the emitted P4
+// program (internal/stat4p4's sqrtTree) realises them as a nested-if binary
+// search over MSB positions whose 64 leaf actions each shift by a
+// compile-time constant, which is what the shiftconst exemptions record.
+//
+//stat4:datapath
 func SqrtApprox(y uint64) uint64 {
 	if y == 0 {
 		return 0
 	}
-	e := MSB(y) // exponent: position of the MSB
+	e := MSBIfChain(y) // exponent: position of the MSB
 	if e == 0 {
 		return 1 // y == 1
 	}
 	// mantissa: the e bits below the MSB.
-	m := y &^ (1 << uint(e))
+	m := y &^ (1 << uint(e)) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	// Shift the exponent‖mantissa string right by one: the exponent's low
 	// bit becomes the mantissa's new top bit and the exponent halves.
 	he := e >> 1
-	mShift := (m >> 1) | (uint64(e&1) << uint(e-1))
+	mShift := (m >> 1) | (uint64(e&1) << uint(e-1)) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	// Rebuild: MSB of the result at position he, with the top he bits of
 	// the shifted mantissa (width e) copied beneath it.
-	return 1<<uint(he) | mShift>>uint(e-he)
+	return 1<<uint(he) | mShift>>uint(e-he) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 }
 
 // SqrtApproxRound is the rounding ablation of SqrtApprox: it inspects the
 // first mantissa bit discarded by the final truncation and rounds the result
 // up when that bit is set. It costs one extra shift, mask and add.
+//
+//stat4:datapath
 func SqrtApproxRound(y uint64) uint64 {
 	if y == 0 {
 		return 0
 	}
-	e := MSB(y)
+	e := MSBIfChain(y)
 	if e == 0 {
 		return 1
 	}
-	m := y &^ (1 << uint(e))
-	he := e >> 1
-	mShift := (m >> 1) | (uint64(e&1) << uint(e-1))
-	r := 1<<uint(he) | mShift>>uint(e-he)
-	drop := e - he // number of truncated mantissa bits
-	if drop > 0 && mShift&(1<<uint(drop-1)) != 0 {
+	m := y &^ (1 << uint(e))                        //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
+	he := e >> 1                                    //
+	mShift := (m >> 1) | (uint64(e&1) << uint(e-1)) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
+	r := 1<<uint(he) | mShift>>uint(e-he)           //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
+	drop := e - he                                  // number of truncated mantissa bits
+	if drop > 0 && mShift&(1<<uint(drop-1)) != 0 {  //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 		r++
 	}
 	return r
@@ -132,6 +155,8 @@ func SqrtApproxRound(y uint64) uint64 {
 // It is the reference the error tables compare against (together with the
 // fractional square root from internal/baseline) and is NOT implementable in
 // P4: it iterates.
+//
+//stat4:reference Newton iteration loops and divides
 func SqrtExact(y uint64) uint64 {
 	if y < 2 {
 		return y
@@ -147,26 +172,45 @@ func SqrtExact(y uint64) uint64 {
 	}
 }
 
+// Log2MaxFrac is the largest fractional width Log2Fixed can honour for every
+// operand: the integer part of log2 of a uint64 needs up to 6 bits
+// (e ≤ 63), leaving 64 − 6 = 58 bits of fraction.
+const Log2MaxFrac = 58
+
 // Log2Fixed approximates log2(y) in fixed point with `frac` fractional bits,
 // using the same exponent/mantissa view as SqrtApprox: the integer part is
 // the MSB position and the top mantissa bits approximate the fraction
 // (log2(1+t) ≈ t on [0,1]). This is the building block the paper's reference
 // [7] (Ding et al.) uses to track entropy in P4; it is included as a library
 // primitive for such extensions. Log2Fixed(0) returns 0 by convention.
+//
+// The result e·2^frac + fraction only fits in 64 bits while
+// frac ≤ 64 − bits(e); beyond that (frac > Log2MaxFrac can hit it for any
+// y ≥ 2, smaller fractions only for large exponents) the value saturates to
+// ^uint64(0) rather than silently truncating the integer part — the same
+// "overflow reads as huge" convention the moment accumulators use.
+//
+//stat4:datapath
 func Log2Fixed(y uint64, frac uint) uint64 {
 	if y == 0 {
 		return 0
 	}
-	e := MSB(y)
-	out := uint64(e) << frac
+	e := MSBIfChain(y)
 	if e == 0 {
-		return out
+		return 0 // y == 1: log2 is exactly 0 at every precision
 	}
-	m := y &^ (1 << uint(e)) // e mantissa bits
+	// Saturate when the integer part would shift off the top. frac is a
+	// compile-time parameter of an emitted program, so the shifts below
+	// are constants on the target.
+	if frac >= 64 || uint64(e)>>(64-frac) != 0 { //stat4:exempt:shiftconst frac is a compile-time parameter
+		return ^uint64(0)
+	}
+	out := uint64(e) << frac //stat4:exempt:shiftconst frac is a compile-time parameter
+	m := y &^ (1 << uint(e)) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	if uint(e) >= frac {
-		out |= m >> (uint(e) - frac)
+		out |= m >> (uint(e) - frac) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	} else {
-		out |= m << (frac - uint(e))
+		out |= m << (frac - uint(e)) //stat4:exempt:shiftconst constant per leaf of the MSB if-chain
 	}
 	return out
 }

@@ -210,3 +210,59 @@ func TestLog2FixedMonotone(t *testing.T) {
 		prev = got
 	}
 }
+
+// TestLog2FixedEdgeCases pins the boundary behaviour: exact values where the
+// approximation is exact, the frac=0 integer-only mode, wide fractions
+// cross-checked against math.Log2, and saturation where the integer part
+// would shift off the top of the 64-bit result.
+func TestLog2FixedEdgeCases(t *testing.T) {
+	max := ^uint64(0)
+	cases := []struct {
+		name string
+		y    uint64
+		frac uint
+		want uint64
+	}{
+		{"one any frac", 1, 32, 0},
+		{"one frac 0", 1, 0, 0},
+		{"zero convention", 0, 57, 0},
+		{"frac 0 truncates to MSB pos", 1000, 0, 9},
+		{"frac 0 max operand", max, 0, 63},
+		{"power of two wide frac", 1 << 40, 32, 40 << 32},
+		// y = MaxUint64: e = 63, mantissa all ones, so the result is
+		// one below the unrepresentable 64·2^32.
+		{"max operand frac 32", max, 32, 64<<32 - 1},
+		// Saturation: e = 63 needs 6 integer bits, so frac 59 overflows…
+		{"saturates frac 59", 1 << 63, 59, max},
+		{"saturates frac 64", 2, 64, max},
+		{"saturates frac 70", 2, 70, max},
+		// …but the documented Log2MaxFrac = 58 fits for every operand.
+		{"max frac ok", 1 << 63, Log2MaxFrac, 63 << Log2MaxFrac},
+		{"max frac max operand", max, Log2MaxFrac, 64<<Log2MaxFrac - 1},
+		// A small exponent leaves room for a wider fraction: e = 1 uses
+		// one bit, so frac 62 still fits.
+		{"small exponent wide frac", 2, 62, 1 << 62},
+	}
+	for _, tc := range cases {
+		if got := Log2Fixed(tc.y, tc.frac); got != tc.want {
+			t.Errorf("%s: Log2Fixed(%d, %d) = %d, want %d", tc.name, tc.y, tc.frac, got, tc.want)
+		}
+	}
+}
+
+// TestLog2FixedVsMathLog2 cross-checks the fixed-point approximation against
+// math.Log2 at a wide fraction: the mantissa linearisation of log2(1+t)
+// undershoots by at most ~0.0861, and truncation never rounds up.
+func TestLog2FixedVsMathLog2(t *testing.T) {
+	const frac = 32
+	for _, y := range []uint64{2, 3, 5, 7, 100, 1000, 12345, 1 << 20, 1<<20 + 1, 1 << 30, 1<<31 - 1} {
+		got := float64(Log2Fixed(y, frac)) / (1 << frac)
+		want := math.Log2(float64(y))
+		if got > want+1e-9 {
+			t.Errorf("Log2Fixed(%d)/2^%d = %.6f exceeds math.Log2 = %.6f", y, frac, got, want)
+		}
+		if got < want-0.0862 {
+			t.Errorf("Log2Fixed(%d)/2^%d = %.6f undershoots math.Log2 = %.6f by more than the 0.0861 bound", y, frac, got, want)
+		}
+	}
+}

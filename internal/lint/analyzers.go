@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoDivide rejects division and modulo: a P4 ALU has neither (Section 2 of
+// the paper — "there is no division" — is the constraint that forces the
+// scaled-distribution trick). Calls into the math.Sqrt family are rejected
+// too: they are the library calls a division-free square root replaces.
+var NoDivide = &Analyzer{
+	Name:      "nodivide",
+	Doc:       "no /, %, or math.Sqrt-family calls in datapath functions",
+	CheckFunc: checkNoDivide,
+}
+
+// mathDenied are the math package functions whose work the paper's
+// approximations (Figure 2 sqrt, fixed-point log2) exist to replace.
+var mathDenied = map[string]bool{
+	"Sqrt": true, "Cbrt": true, "Pow": true, "Exp": true, "Exp2": true,
+	"Log": true, "Log2": true, "Log10": true, "Hypot": true,
+	"Mod": true, "Remainder": true,
+}
+
+func checkNoDivide(pass *Pass) {
+	info := pass.TypesInfo()
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if (e.Op == token.QUO || e.Op == token.REM) && !isConstExpr(info, e) {
+				pass.Reportf(e.OpPos, "%s is not available on a P4 target (Section 2: track N·X so the mean needs no division)", e.Op)
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.QUO_ASSIGN || e.Tok == token.REM_ASSIGN {
+				pass.Reportf(e.TokPos, "%s is not available on a P4 target", e.Tok)
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(info, e); f != nil && f.Pkg() != nil &&
+				f.Pkg().Path() == "math" && mathDenied[f.Name()] {
+				pass.Reportf(e.Pos(), "math.%s is floating-point library code; use the intstat approximations instead", f.Name())
+			}
+		}
+		return true
+	})
+}
+
+// NoFloat rejects floating-point (and complex) types, literals and
+// conversions: switch ASICs have integer ALUs only, which is why NetFC-style
+// workarounds and this paper's integer statistics exist at all.
+var NoFloat = &Analyzer{
+	Name:      "nofloat",
+	Doc:       "no floating-point types, literals or conversions in datapath functions",
+	CheckFunc: checkNoFloat,
+}
+
+func checkNoFloat(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// The function's own signature: parameters, results, receiver.
+	sig := pass.Func.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && isFloaty(recv.Type()) {
+		pass.Reportf(pass.Decl.Pos(), "datapath receiver has floating-point type %s", recv.Type())
+	}
+	for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for i := 0; i < tuple.Len(); i++ {
+			if v := tuple.At(i); isFloaty(v.Type()) {
+				pass.Reportf(pass.Decl.Pos(), "datapath signature uses floating-point type %s", v.Type())
+			}
+		}
+	}
+
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !seen[pos] {
+			seen[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.FLOAT || e.Kind == token.IMAG {
+				report(e.Pos(), "floating-point literal in datapath code")
+			}
+		case *ast.CallExpr:
+			// Conversions to a float type, e.g. float64(x).
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && isFloaty(tv.Type) {
+				report(e.Pos(), "conversion to floating-point type %s in datapath code", tv.Type)
+			}
+		case *ast.Ident:
+			if obj, ok := info.Defs[e]; ok && obj != nil {
+				if v, ok := obj.(*types.Var); ok && isFloaty(v.Type()) {
+					report(e.Pos(), "variable %s has floating-point type %s", e.Name, v.Type())
+				}
+			}
+		case *ast.BinaryExpr:
+			if tv, ok := info.Types[e]; ok && isFloaty(tv.Type) {
+				report(e.OpPos, "floating-point arithmetic in datapath code")
+			}
+		}
+		return true
+	})
+}
+
+func isFloaty(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// BoundedLoop rejects loops, goto, and (via the call-graph cycle check in
+// Run) recursion: per-packet P4 code is straight-line, and the paper rules
+// out recirculation. Loops over compile-time configuration that the emitted
+// program unrolls carry //stat4:exempt:boundedloop with a justification.
+var BoundedLoop = &Analyzer{
+	Name:      "boundedloop",
+	Doc:       "no for/range loops, goto or recursion in datapath functions",
+	CheckFunc: checkBoundedLoop,
+}
+
+func checkBoundedLoop(pass *Pass) {
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ForStmt:
+			pass.Reportf(e.For, "for loop in datapath code (P4 control flow is straight-line; nested ifs cannot express a loop)")
+		case *ast.RangeStmt:
+			pass.Reportf(e.For, "range loop in datapath code (P4 control flow is straight-line)")
+		case *ast.BranchStmt:
+			if e.Tok == token.GOTO {
+				pass.Reportf(e.Pos(), "goto in datapath code")
+			}
+		}
+		return true
+	})
+}
+
+// NoMapRange rejects map iteration even where a loop is otherwise exempted:
+// Go randomises map order, so a map range in a per-packet path makes runs
+// non-replayable and can never correspond to a deterministic P4 layout.
+var NoMapRange = &Analyzer{
+	Name:      "nomaprange",
+	Doc:       "no map iteration in datapath functions",
+	CheckFunc: checkNoMapRange,
+}
+
+func checkNoMapRange(pass *Pass) {
+	info := pass.TypesInfo()
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		r, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[r.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(r.For, "map iteration in datapath code: ordering is nondeterministic, which breaks replayability")
+			}
+		}
+		return true
+	})
+}
+
+// ShiftConst requires compile-time-constant shift amounts, matching hardware
+// barrel shifters: the emitted programs realise data-dependent shifts as the
+// Figure 2 nested-if tree whose leaves shift by constants, and Go code that
+// cannot do the same must either take that form or carry an exemption
+// naming how the target realises it.
+var ShiftConst = &Analyzer{
+	Name:      "shiftconst",
+	Doc:       "shift amounts must be compile-time constants in datapath functions",
+	CheckFunc: checkShiftConst,
+}
+
+func checkShiftConst(pass *Pass) {
+	info := pass.TypesInfo()
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if (e.Op == token.SHL || e.Op == token.SHR) &&
+				!isConstExpr(info, e) && !isConstExpr(info, e.Y) {
+				pass.Reportf(e.OpPos, "shift amount %s is not a compile-time constant (P4 targets shift by constants only)", exprText(e.Y))
+			}
+		case *ast.AssignStmt:
+			if (e.Tok == token.SHL_ASSIGN || e.Tok == token.SHR_ASSIGN) &&
+				len(e.Rhs) == 1 && !isConstExpr(info, e.Rhs[0]) {
+				pass.Reportf(e.TokPos, "shift amount %s is not a compile-time constant", exprText(e.Rhs[0]))
+			}
+		}
+		return true
+	})
+}
+
+// isConstExpr reports whether the type checker folded e to a constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exprText renders a short source-like form of simple expressions for
+// messages.
+func exprText(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.BasicLit:
+		return t.Value
+	case *ast.SelectorExpr:
+		return exprText(t.X) + "." + t.Sel.Name
+	case *ast.CallExpr:
+		return exprText(t.Fun) + "(...)"
+	case *ast.BinaryExpr:
+		return fmt.Sprintf("%s %s %s", exprText(t.X), t.Op, exprText(t.Y))
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// target is one module function the checker can analyze: its declaration,
+// object and owning package.
+type target struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	pkg  *Package
+}
+
+// callEdge is one static call from a module function to another.
+type callEdge struct {
+	callee *types.Func
+	pos    ast.Node // the call expression, for diagnostics
+}
+
+// callGraph is the static, intra-module call graph. Calls through interface
+// methods and function values are not resolved (the P4 side has no indirect
+// calls either); the closure therefore follows direct calls to named
+// functions and methods only.
+type callGraph struct {
+	mod     *Module
+	targets map[*types.Func]*target
+	edges   map[*types.Func][]callEdge
+	modPkgs map[*types.Package]bool
+}
+
+// buildCallGraph indexes every function declaration in the module and the
+// direct calls inside each body.
+func buildCallGraph(mod *Module) *callGraph {
+	g := &callGraph{
+		mod:     mod,
+		targets: make(map[*types.Func]*target),
+		edges:   make(map[*types.Func][]callEdge),
+		modPkgs: make(map[*types.Package]bool),
+	}
+	for _, pkg := range mod.Pkgs {
+		g.modPkgs[pkg.Types] = true
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.targets[obj] = &target{decl: fd, obj: obj, pkg: pkg}
+			}
+		}
+	}
+	for obj, t := range g.targets {
+		g.edges[obj] = g.callsIn(t)
+	}
+	return g
+}
+
+// callsIn collects the in-module callees of t's body, including calls made
+// inside nested function literals (their code runs as part of the datapath
+// if the enclosing function does).
+func (g *callGraph) callsIn(t *target) []callEdge {
+	var out []callEdge
+	ast.Inspect(t.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(t.pkg.Info, call)
+		if callee == nil || !g.modPkgs[callee.Pkg()] {
+			return true
+		}
+		out = append(out, callEdge{callee: callee, pos: call})
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves the *types.Func a call statically targets, or nil for
+// conversions, builtins, function values and interface dispatch.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// datapathClosure walks the call graph from every //stat4:datapath root and
+// returns the reachable module functions in deterministic order. Edges into
+// //stat4:reference functions are reported (and not followed): reference
+// implementations are by definition not switch-feasible.
+func (g *callGraph) datapathClosure(r *run) []*target {
+	var queue []*types.Func
+	seen := make(map[*types.Func]bool)
+	for obj, t := range g.targets {
+		if r.dirs.kindOf(t.decl) == KindDatapath && !seen[obj] {
+			seen[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].FullName() < queue[j].FullName() })
+
+	var closure []*target
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		t := g.targets[obj]
+		closure = append(closure, t)
+		for _, e := range g.edges[obj] {
+			ct, ok := g.targets[e.callee]
+			if !ok {
+				continue // declared without a body (assembly stubs); none in this module
+			}
+			if r.dirs.kindOf(ct.decl) == KindReference {
+				r.reportf(BoundedLoop.Name, t.decl, e.pos.Pos(),
+					"datapath function %s calls %s, which is marked //stat4:reference (not switch-implementable)",
+					t.obj.Name(), e.callee.Name())
+				continue
+			}
+			if !seen[e.callee] {
+				seen[e.callee] = true
+				queue = append(queue, e.callee)
+			}
+		}
+	}
+	sort.Slice(closure, func(i, j int) bool {
+		return closure[i].obj.FullName() < closure[j].obj.FullName()
+	})
+	return closure
+}
+
+// cycleMembers returns the closure functions that sit on a call cycle
+// (including self-recursion), using Tarjan's strongly-connected-components
+// algorithm restricted to the closure subgraph.
+func (g *callGraph) cycleMembers(closure []*target) []*target {
+	in := make(map[*types.Func]bool, len(closure))
+	for _, t := range closure {
+		in[t.obj] = true
+	}
+
+	index := make(map[*types.Func]int)
+	lowlink := make(map[*types.Func]int)
+	onStack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	next := 0
+	var cyclic []*target
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		selfLoop := false
+		for _, e := range g.edges[v] {
+			w := e.callee
+			if !in[w] {
+				continue
+			}
+			if w == v {
+				selfLoop = true
+			}
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+
+		if lowlink[v] == index[v] {
+			var scc []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 || selfLoop {
+				for _, w := range scc {
+					cyclic = append(cyclic, g.targets[w])
+				}
+			}
+		}
+	}
+
+	for _, t := range closure {
+		if _, visited := index[t.obj]; !visited {
+			strongconnect(t.obj)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		return cyclic[i].obj.FullName() < cyclic[j].obj.FullName()
+	})
+	return cyclic
+}

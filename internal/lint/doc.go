@@ -1,0 +1,32 @@
+// Package lint statically enforces the switch-feasibility discipline of
+// "Stats 101 in P4" on the Go reference implementation: every per-packet
+// Stat4 routine must be integer-only, division-free, loop-free, bounded
+// straight-line code (Section 2 of the paper). The Go compiler checks none
+// of that, so this package turns the paper's constraints into machine-checked
+// invariants.
+//
+// Functions opt in with a //stat4:datapath directive in their doc comment.
+// The checker computes the transitive closure of module functions reachable
+// from the annotated roots and runs every analyzer over each function in the
+// closure:
+//
+//   - nodivide:    no /, %, or math.Sqrt-family calls (Section 2: "there is
+//     no division")
+//   - nofloat:     no floating-point types, literals or conversions
+//   - boundedloop: no for/range loops, goto, or recursion (call-graph SCC)
+//   - nomaprange:  no map iteration (ordering nondeterminism breaks replay)
+//   - shiftconst:  shift amounts must be compile-time constants
+//   - directive:   the //stat4: directives themselves are well-formed
+//
+// Exact or host-only routines opt out with //stat4:reference; reaching one
+// from the datapath closure is itself an error. Individual constructs that
+// are feasible on the target but not expressible as straight-line Go (for
+// example a loop over compile-time configuration that the P4 program
+// unrolls) carry a //stat4:exempt:<analyzer> directive with a justification.
+//
+// The package has no dependencies outside the standard library: packages are
+// loaded with `go list -export -deps -json`, module sources are type-checked
+// with go/types, and external dependencies are imported from compiler export
+// data. The cmd/stat4-lint driver runs the suite standalone or as a
+// `go vet -vettool` backend.
+package lint

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one switch-feasibility check. CheckFunc is invoked once per
+// function in the datapath closure; it walks the function body and reports
+// violations through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// CheckFunc inspects one datapath function. It may be nil for analyzers
+	// whose diagnostics come from the framework itself (directive validation,
+	// recursion detection).
+	CheckFunc func(pass *Pass)
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDivide,
+		NoFloat,
+		BoundedLoop,
+		NoMapRange,
+		ShiftConst,
+		Directive,
+	}
+}
+
+// AnalyzerNames returns the set of analyzer names valid in
+// //stat4:exempt:<name> directives.
+func AnalyzerNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries the state one analyzer sees while checking one function of
+// the datapath closure.
+type Pass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	Pkg      *Package
+	// Decl is the function under check and Func its type-checker object.
+	Decl *ast.FuncDecl
+	Func *types.Func
+
+	run *run
+}
+
+// TypesInfo returns the type information of the function's package.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a diagnostic at pos unless an exemption covers it: a
+// //stat4:exempt:<analyzer> in the function's doc comment, or one on the
+// same line as pos or the line directly above it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.run.reportf(p.Analyzer.Name, p.Decl, pos, format, args...)
+}
+
+// run is the mutable state of one Run invocation.
+type run struct {
+	mod   *Module
+	dirs  *directives
+	diags []Diagnostic
+}
+
+func (r *run) reportf(analyzer string, decl *ast.FuncDecl, pos token.Pos, format string, args ...interface{}) {
+	if r.dirs.exempted(r.mod.Fset, analyzer, decl, pos) {
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Pos:      r.mod.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzer suite over a loaded module and returns the
+// diagnostics sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	r := &run{mod: mod}
+	r.dirs = collectDirectives(mod, AnalyzerNames())
+
+	// Directive well-formedness diagnostics are unconditional: a broken
+	// directive must never silently disable a check.
+	r.diags = append(r.diags, r.dirs.diags...)
+
+	graph := buildCallGraph(mod)
+	closure := graph.datapathClosure(r)
+
+	// Recursion: any closure function in a call cycle is unbounded.
+	for _, t := range graph.cycleMembers(closure) {
+		r.reportf(BoundedLoop.Name, t.decl, t.decl.Pos(),
+			"datapath function %s participates in a call cycle (recursion is not implementable on a P4 target)",
+			t.obj.Name())
+	}
+
+	for _, t := range closure {
+		for _, a := range analyzers {
+			if a.CheckFunc == nil {
+				continue
+			}
+			a.CheckFunc(&Pass{
+				Analyzer: a,
+				Mod:      mod,
+				Pkg:      t.pkg,
+				Decl:     t.decl,
+				Func:     t.obj,
+				run:      r,
+			})
+		}
+	}
+
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.diags
+}

@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"testing"
+
+	"stat4/internal/lint"
+	"stat4/internal/lint/linttest"
+)
+
+// Each fixture package under testdata/src declares its expected diagnostics
+// in // want comments; the full analyzer suite runs over every fixture so
+// cross-analyzer interactions (like the nomaprange/boundedloop precedence)
+// are covered too.
+
+func TestNoDivide(t *testing.T) {
+	linttest.Run(t, "testdata/src", "nodivide", lint.Analyzers())
+}
+
+func TestNoFloat(t *testing.T) {
+	linttest.Run(t, "testdata/src", "nofloat", lint.Analyzers())
+}
+
+func TestBoundedLoop(t *testing.T) {
+	linttest.Run(t, "testdata/src", "boundedloop", lint.Analyzers())
+}
+
+func TestNoMapRange(t *testing.T) {
+	linttest.Run(t, "testdata/src", "nomaprange", lint.Analyzers())
+}
+
+func TestShiftConst(t *testing.T) {
+	linttest.Run(t, "testdata/src", "shiftconst", lint.Analyzers())
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	linttest.Run(t, "testdata/src", "directive", lint.Analyzers())
+}
+
+func TestClosureCrossesPackages(t *testing.T) {
+	linttest.Run(t, "testdata/src", "closure", lint.Analyzers())
+}
+
+// TestDiagnosticOrder pins that diagnostics come out sorted by position, so
+// tool output and CI logs are stable run to run.
+func TestDiagnosticOrder(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata/src", "boundedloop", lint.Analyzers())
+	if len(diags) < 2 {
+		t.Fatalf("expected several diagnostics, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %s after %s", diags[i], diags[i-1])
+		}
+	}
+}
+
+// TestAnalyzerNamesStable pins the exemption namespace: renaming an analyzer
+// silently invalidates every //stat4:exempt:<name> comment in the tree, so a
+// rename must be deliberate.
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"nodivide", "nofloat", "boundedloop", "nomaprange", "shiftconst", "directive"}
+	names := lint.AnalyzerNames()
+	if len(names) != len(want) {
+		t.Fatalf("analyzer set changed: got %v", names)
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("analyzer %q missing from suite", n)
+		}
+	}
+}

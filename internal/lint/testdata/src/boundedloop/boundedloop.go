@@ -1,0 +1,89 @@
+// Package boundedloop exercises the boundedloop analyzer: for/range loops,
+// goto, recursion (mutual and self), calls into //stat4:reference code, and
+// the transitive reach of the datapath closure into unannotated helpers.
+package boundedloop
+
+//stat4:datapath
+func Loops(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs { // want "boundedloop: range loop in datapath code"
+		s += x
+	}
+	for i := 0; i < 4; i++ { // want "boundedloop: for loop in datapath code"
+		s++
+	}
+	return s
+}
+
+//stat4:datapath
+func Jump(x uint64) uint64 {
+top:
+	if x > 0 {
+		x--
+		goto top // want "boundedloop: goto in datapath code"
+	}
+	return x
+}
+
+//stat4:datapath
+func Ping(n uint64) uint64 { // want "boundedloop: datapath function Ping participates in a call cycle"
+	if n == 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+// Pong is unannotated but enters the closure through Ping, which puts it on
+// the cycle too.
+func Pong(n uint64) uint64 { // want "boundedloop: datapath function Pong participates in a call cycle"
+	if n == 0 {
+		return 1
+	}
+	return Ping(n - 1)
+}
+
+//stat4:datapath
+func Self(n uint64) uint64 { // want "boundedloop: datapath function Self participates in a call cycle"
+	if n == 0 {
+		return 0
+	}
+	return Self(n - 1)
+}
+
+//stat4:reference exact bit-length, loops on purpose
+func SlowLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+//stat4:datapath
+func UsesRef(v uint64) int {
+	return SlowLen(v) // want "boundedloop: datapath function UsesRef calls SlowLen, which is marked"
+}
+
+//stat4:datapath
+func Entry(x uint64) uint64 {
+	return helper(x)
+}
+
+// helper is unannotated; the closure checks it because Entry calls it.
+func helper(x uint64) uint64 {
+	for x > 10 { // want "boundedloop: for loop in datapath code"
+		x >>= 1
+	}
+	return x
+}
+
+//stat4:datapath
+func Unrolled(xs []uint64) uint64 {
+	var s uint64
+	//stat4:exempt:boundedloop fixed-size configuration list, unrolled when emitted
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+// Package closure exercises the transitive datapath closure across package
+// boundaries: the entry point is annotated here, the violation lives in an
+// unannotated helper one import away.
+package closure
+
+import "closure/inner"
+
+//stat4:datapath
+func Entry(x uint64) uint64 {
+	return inner.Helper(x) + local(x)
+}
+
+func local(x uint64) uint64 {
+	return x + 1
+}

@@ -1,0 +1,7 @@
+// Package inner holds the helper the closure fixture reaches through an
+// import. Nothing here is annotated; the checks apply because the caller is.
+package inner
+
+func Helper(x uint64) uint64 {
+	return x % 3 // want "nodivide: % is not available on a P4 target"
+}

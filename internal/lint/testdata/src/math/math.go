@@ -1,0 +1,11 @@
+// Package math stubs the standard library package for the nodivide fixture.
+// The declarations are bodyless (like assembly-backed stdlib functions) so
+// they stay out of the call graph; the denylist matches on package path and
+// name only.
+package math
+
+func Sqrt(x float64) float64
+
+func Log2(x float64) float64
+
+func Pow(x, y float64) float64

@@ -1,0 +1,45 @@
+// Package nodivide exercises the nodivide analyzer: division, modulo, their
+// assignment forms and math.Sqrt-family calls are rejected in datapath code,
+// while constant-folded divisions and exempted lines pass.
+package nodivide
+
+import "math"
+
+//stat4:datapath
+func Mean(sum, n uint64) uint64 {
+	return sum / n // want "nodivide: / is not available on a P4 target"
+}
+
+//stat4:datapath
+func Bucket(h, n uint64) uint64 {
+	return h % n // want "nodivide: % is not available on a P4 target"
+}
+
+//stat4:datapath
+func AssignForms(x uint64) uint64 {
+	x /= 3 // want "nodivide: /= is not available on a P4 target"
+	x %= 7 // want "nodivide: %= is not available on a P4 target"
+	return x
+}
+
+//stat4:datapath
+func LibSqrt() uint64 {
+	_ = math.Sqrt(2) // want "nodivide: math.Sqrt is floating-point library code"
+	return 0
+}
+
+//stat4:datapath
+func ConstFolded(x uint64) uint64 {
+	// 1024/4 is folded by the compiler; no runtime division happens.
+	return x + 1024/4
+}
+
+//stat4:datapath
+func Exempted(h uint64) uint64 {
+	return h % 10 //stat4:exempt:nodivide host-only path, never emitted
+}
+
+// Unannotated functions are not checked at all.
+func NotDatapath(a, b uint64) uint64 {
+	return a / b
+}

@@ -1,0 +1,30 @@
+// Package nofloat exercises the nofloat analyzer: floating-point signatures,
+// literals, conversions, variables and arithmetic are all rejected in
+// datapath code.
+package nofloat
+
+//stat4:datapath
+func Sig(x float64) uint64 { // want "nofloat: datapath signature uses floating-point type float64"
+	return 0
+}
+
+//stat4:datapath
+func Returns() float32 { // want "nofloat: datapath signature uses floating-point type float32"
+	return 0
+}
+
+//stat4:datapath
+func Body(x uint64) uint64 {
+	f := float64(x) // want "nofloat: variable f has floating-point type float64" "nofloat: conversion to floating-point type float64"
+	g := f * f      // want "nofloat: variable g has floating-point type float64" "nofloat: floating-point arithmetic in datapath code"
+	_ = g
+	h := 1.5 // want "nofloat: variable h has floating-point type float64" "nofloat: floating-point literal in datapath code"
+	_ = h
+	return x
+}
+
+//stat4:datapath
+func IntegerOnly(x uint64) uint64 {
+	y := x + 1
+	return y >> 2
+}

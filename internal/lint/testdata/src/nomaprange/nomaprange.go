@@ -1,0 +1,33 @@
+// Package nomaprange exercises the nomaprange analyzer and its precedence
+// over boundedloop exemptions: a map range stays forbidden even where a loop
+// exemption applies, because map iteration order is nondeterministic.
+package nomaprange
+
+//stat4:datapath
+func Both(m map[uint64]uint64) uint64 {
+	var s uint64
+	for _, v := range m { // want "nomaprange: map iteration in datapath code" "boundedloop: range loop in datapath code"
+		s += v
+	}
+	return s
+}
+
+//stat4:datapath
+func ExemptedLoopStillFlagged(m map[uint64]uint64) uint64 {
+	var s uint64
+	//stat4:exempt:boundedloop the loop exemption must NOT silence the map-order check
+	for _, v := range m { // want "nomaprange: map iteration in datapath code"
+		s += v
+	}
+	return s
+}
+
+//stat4:datapath
+func SliceRangeIsNotAMapRange(xs []uint64) uint64 {
+	var s uint64
+	//stat4:exempt:boundedloop fixed-size configuration list
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+// Package shiftconst exercises the shiftconst analyzer: shift amounts must
+// be compile-time constants, in expression and assignment form, with
+// constant-folded shifts and exempted lines passing.
+package shiftconst
+
+//stat4:datapath
+func Shifts(x, n uint64) uint64 {
+	y := x << 3 // constant amount: fine
+	y |= x << n // want "shiftconst: shift amount n is not a compile-time constant"
+	y ^= x >> n // want "shiftconst: shift amount n is not a compile-time constant"
+	y <<= n     // want "shiftconst: shift amount n is not a compile-time constant"
+	const k = 5
+	y |= x >> k // folded to a constant: fine
+	return y
+}
+
+//stat4:datapath
+func WholeExprFolded(x uint64) uint64 {
+	// 1 << 20 is itself a constant expression; nothing to report.
+	return x & (1<<20 - 1)
+}
+
+//stat4:datapath
+func Exempted(x, e uint64) uint64 {
+	return x << e //stat4:exempt:shiftconst realised as the nested-if tree with constant-shift leaves
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// unitConfig mirrors the JSON configuration `go vet` writes for an external
+// vet tool (x/tools unitchecker.Config): one package's files plus export
+// data for everything it imports.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single package described by a `go vet` .cfg file and
+// returns its diagnostics. This is the modular `go vet -vettool` mode: each
+// package is checked on its own, so the //stat4:datapath closure and the
+// recursion check stop at package boundaries (every datapath package in
+// this module annotates its functions directly, so coverage is preserved;
+// the standalone driver remains the authoritative whole-module gate).
+func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.Compiler == "" {
+		cfg.Compiler = "gc"
+	}
+
+	// go vet requires the facts file to exist even though this tool keeps
+	// no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	mod := &Module{Fset: fset, Pkgs: []*Package{pkg}}
+	return Run(mod, analyzers), nil
+}

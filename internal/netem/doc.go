@@ -1,0 +1,13 @@
+// Package netem is a small discrete-event network simulator: a virtual
+// nanosecond clock, an event queue, and node wrappers that connect traffic
+// sources, the P4 switch simulator and a controller over links with
+// configurable latency. It stands in for the paper's emulated network
+// (Figure 6): the case study's claims are about which interval detects a
+// spike and how control-plane round trips dominate drill-down latency, both
+// of which are functions of virtual time.
+//
+// The simulator is deliberately minimal — no packet loss, no queuing model,
+// no bandwidth shaping — because the reproduced claims depend only on event
+// ordering and link latency. Handlers run single-threaded on the caller's
+// goroutine inside Run and may schedule further events.
+package netem

@@ -195,6 +195,8 @@ type Cond struct {
 }
 
 // Eval evaluates the condition given resolved operand values.
+//
+//stat4:datapath
 func (c Cond) eval(a, b uint64) bool {
 	switch c.Op {
 	case CmpEq:

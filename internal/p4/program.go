@@ -137,8 +137,12 @@ func (p *Program) AddTable(t *TableDef) {
 	p.Tables = append(p.Tables, t)
 }
 
-// action looks an action up by name.
+// action looks an action up by name. The scan is over the program's declared
+// actions, resolved per dispatch here but at compile time on a real target.
+//
+//stat4:datapath
 func (p *Program) action(name string) (*Action, bool) {
+	//stat4:exempt:boundedloop the action list is fixed when the program is emitted; a real target resolves the name at compile time
 	for _, a := range p.Actions {
 		if a.Name == name {
 			return a, true

@@ -26,6 +26,8 @@ func newRegister(def RegisterDef) *Register {
 func (r *Register) Def() RegisterDef { return r.def }
 
 // read is the data-plane read. ok is false out of bounds.
+//
+//stat4:datapath
 func (r *Register) read(idx uint64) (v uint64, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -36,6 +38,8 @@ func (r *Register) read(idx uint64) (v uint64, ok bool) {
 }
 
 // write is the data-plane write. ok is false out of bounds.
+//
+//stat4:datapath
 func (r *Register) write(idx, v uint64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()

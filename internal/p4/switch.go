@@ -20,9 +20,13 @@ var hashMuls = [NumHashFunctions]uint64{
 	0xd6e8feb86659fd93,
 }
 
-// HashValue computes the id-th hash of v (before masking).
+// HashValue computes the id-th hash of v (before masking). The family index
+// wraps with a mask — NumHashFunctions is a power of two — because the hash
+// engine runs per packet and a P4 target has no modulo.
+//
+//stat4:datapath
 func HashValue(id int, v uint64) uint64 {
-	h := v * hashMuls[id%NumHashFunctions]
+	h := v * hashMuls[id&(NumHashFunctions-1)]
 	return h ^ h>>31
 }
 
@@ -61,10 +65,14 @@ type Ctx struct {
 }
 
 // Get returns a field's current value.
+//
+//stat4:datapath
 func (c *Ctx) Get(id FieldID) uint64 { return c.fields[id] }
 
 // Set sets a field, masked to its declared width. Parsers and deparsers use
 // it; program code goes through ops.
+//
+//stat4:datapath
 func (c *Ctx) Set(id FieldID, v uint64) {
 	c.fields[id] = v & widthMask(c.sw.prog.Fields[id].Width)
 }
@@ -243,11 +251,19 @@ func (sw *Switch) processPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) 
 	return []FrameOut{{Port: uint16(ctx.fields[sw.std.Egress]), Data: out}}
 }
 
+// execStmts interprets a statement list. The recursion into IfStmt branches
+// and the iteration over the list walk the program's fixed control-flow tree:
+// its depth and size are set when the program is emitted, so on the target
+// this is the straight-line pipeline itself, not runtime looping.
+//
+//stat4:datapath
+//stat4:exempt:boundedloop walks the compile-time control-flow tree of the emitted program
 func (sw *Switch) execStmts(ctx *Ctx, stmts []Stmt) {
 	for _, s := range stmts {
 		switch st := s.(type) {
 		case ApplyStmt:
 			t := sw.tables[st.Table]
+			// Key extraction: one fixed field copy per declared key.
 			if cap(sw.keyScratch) < len(t.def.Keys) {
 				sw.keyScratch = make([]uint64, len(t.def.Keys))
 			}
@@ -276,6 +292,10 @@ func (sw *Switch) execStmts(ctx *Ctx, stmts []Stmt) {
 	}
 }
 
+// resolve reads an operand: a constant, a metadata field, or an action
+// parameter.
+//
+//stat4:datapath
 func (sw *Switch) resolve(ctx *Ctx, r Ref) uint64 {
 	switch r.Kind {
 	case RefConst:
@@ -289,19 +309,34 @@ func (sw *Switch) resolve(ctx *Ctx, r Ref) uint64 {
 	}
 }
 
+// execAction runs one action body: a fixed op sequence with the entry's
+// arguments bound as parameters.
+//
+//stat4:datapath
 func (sw *Switch) execAction(ctx *Ctx, a *Action, args []uint64) {
 	saved := ctx.args
 	ctx.args = args
 	defer func() { ctx.args = saved }()
+	//stat4:exempt:boundedloop an action's op list is fixed when the program is emitted; each op is one pipeline primitive
 	for _, op := range a.Ops {
 		sw.execOp(ctx, op)
 	}
 }
 
+// setField writes a metadata field masked to its declared width.
+//
+//stat4:datapath
 func (sw *Switch) setField(ctx *Ctx, id FieldID, v uint64) {
 	ctx.fields[id] = v & widthMask(sw.prog.Fields[id].Width)
 }
 
+// execOp interprets one primitive. Every case is work a single pipeline
+// stage can do: an ALU op, a register access, a hash-unit invocation, or a
+// digest push. The variable shifts in OpShl/OpShr are the simulator
+// modelling the op itself — emitted programs only ever use constant shift
+// operands (Program.Validate and stat4-lint both enforce it on the emitters).
+//
+//stat4:datapath
 func (sw *Switch) execOp(ctx *Ctx, op Op) {
 	switch op.Code {
 	case OpMov:
@@ -341,14 +376,14 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 		if amt >= 64 {
 			sw.setField(ctx, op.Dst.Field, 0)
 		} else {
-			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)<<amt)
+			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)<<amt) //stat4:exempt:shiftconst simulates the shift primitive; emitted programs pass constant shift operands
 		}
 	case OpShr:
 		amt := sw.resolve(ctx, op.B)
 		if amt >= 64 {
 			sw.setField(ctx, op.Dst.Field, 0)
 		} else {
-			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)>>amt)
+			sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)>>amt) //stat4:exempt:shiftconst simulates the shift primitive; emitted programs pass constant shift operands
 		}
 	case OpRegRead:
 		r := sw.regs[op.Reg]
@@ -366,6 +401,7 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 		sw.setField(ctx, op.Dst.Field, HashValue(op.HashID, sw.resolve(ctx, op.A))&op.B.Const)
 	case OpDigest:
 		d := Digest{ID: op.DigestID, Values: make([]uint64, len(op.Fields))}
+		//stat4:exempt:boundedloop a digest's field list is fixed when the program is emitted
 		for i, f := range op.Fields {
 			d.Values[i] = ctx.fields[f]
 		}

@@ -186,11 +186,17 @@ func (t *table) entryCount() int {
 }
 
 // lookup returns the best-matching entry for the key values, or nil on miss.
+// The scan over installed entries simulates what a TCAM does in one parallel
+// match cycle; entry counts in the Stat4 programs are tens, set by the
+// control plane, not by traffic.
+//
+//stat4:datapath
 func (t *table) lookup(keys []uint64) *Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var best *Entry
 	bestRank := -1
+	//stat4:exempt:boundedloop simulates the TCAM's single-cycle parallel match over installed entries
 	for _, e := range t.entries {
 		if !t.matches(e, keys) {
 			continue
@@ -218,7 +224,11 @@ func (t *table) lookup(keys []uint64) *Entry {
 	return best
 }
 
+// matches reports whether one entry matches the key values, per key kind.
+//
+//stat4:datapath
 func (t *table) matches(e *Entry, keys []uint64) bool {
+	//stat4:exempt:boundedloop a table's key list is fixed when the program is emitted
 	for i, k := range t.def.Keys {
 		w := t.prog.Fields[k.Field].Width
 		v := keys[i] & widthMask(w)
@@ -233,7 +243,7 @@ func (t *table) matches(e *Entry, keys []uint64) bool {
 			if mv.PrefixLen == 0 {
 				continue
 			}
-			if v>>shift != (mv.Value&widthMask(w))>>shift {
+			if v>>shift != (mv.Value&widthMask(w))>>shift { //stat4:exempt:shiftconst simulates the TCAM prefix mask; the prefix length is entry data, not packet data
 				return false
 			}
 		case MatchTernary:
@@ -245,9 +255,13 @@ func (t *table) matches(e *Entry, keys []uint64) bool {
 	return true
 }
 
+// widthMask returns the all-ones value of a declared field or register
+// width, which is fixed when the program is emitted.
+//
+//stat4:datapath
 func widthMask(w Width) uint64 {
 	if w >= 64 {
 		return ^uint64(0)
 	}
-	return 1<<w - 1
+	return 1<<w - 1 //stat4:exempt:shiftconst w is a compile-time field width of the emitted program
 }
