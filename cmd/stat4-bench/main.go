@@ -1,0 +1,202 @@
+// Command stat4-bench turns `go test -bench -benchmem` output into the
+// BENCH_<n>.json artifacts the repo commits alongside performance work. It
+// parses the standard benchmark result lines, averages repeated -count runs,
+// and — when given a -baseline file in the same format — records the before
+// numbers and the relative change next to each benchmark.
+//
+//	go test -run='^$' -bench 'Switch' -benchmem -count 3 . | stat4-bench -o BENCH_1.json
+//	stat4-bench -baseline bench_before.txt -o BENCH_1.json bench_after.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's averaged measurements. Baseline fields are
+// pointers so benchmarks absent from the -baseline file serialize without
+// fabricated zeros.
+type Result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+
+	BaselineNsOp     *float64 `json:"baseline_ns_op,omitempty"`
+	BaselineAllocsOp *float64 `json:"baseline_allocs_op,omitempty"`
+	// NsDeltaPct is (ns_op - baseline_ns_op) / baseline_ns_op * 100;
+	// negative means faster than the baseline.
+	NsDeltaPct *float64 `json:"ns_delta_pct,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stat4-bench: ")
+	out := flag.String("o", "BENCH_1.json", "output JSON path (- for stdout)")
+	baseline := flag.String("baseline", "", "baseline bench output to diff against")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		log.Fatal("usage: stat4-bench [-baseline before.txt] [-o out.json] [after.txt]")
+	}
+
+	results, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		merge(results, base)
+	}
+
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench reads `go test -bench` output and averages repeated runs of the
+// same benchmark. Lines that are not result lines (pass/fail summaries,
+// subprocess noise) are skipped.
+func parseBench(r io.Reader) ([]*Result, error) {
+	type acc struct {
+		r *Result
+		n int
+	}
+	byName := map[string]*acc{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		a := byName[res.Name]
+		if a == nil {
+			a = &acc{r: res}
+			byName[res.Name] = a
+			order = append(order, res.Name)
+			a.n = 1
+			continue
+		}
+		a.r.NsOp += res.NsOp
+		a.r.AllocsOp += res.AllocsOp
+		a.r.BytesOp += res.BytesOp
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		a.r.NsOp /= float64(a.n)
+		a.r.AllocsOp /= float64(a.n)
+		a.r.BytesOp /= float64(a.n)
+		results = append(results, a.r)
+	}
+	return results, nil
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkSwitchFreqUpdate-8  681088  1750 ns/op  168 B/op  4 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so runs from machines with different
+// core counts merge under one name.
+func parseLine(line string) (*Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := &Result{Name: strings.TrimPrefix(name, "Benchmark")}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsOp = v
+			seenNs = true
+		case "B/op":
+			res.BytesOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		}
+	}
+	return res, seenNs
+}
+
+// merge attaches baseline numbers and relative deltas to matching results.
+func merge(results, base []*Result) {
+	byName := map[string]*Result{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	for _, r := range results {
+		b := byName[r.Name]
+		if b == nil {
+			continue
+		}
+		ns, allocs := b.NsOp, b.AllocsOp
+		r.BaselineNsOp = &ns
+		r.BaselineAllocsOp = &allocs
+		if ns > 0 {
+			d := (r.NsOp - ns) / ns * 100
+			r.NsDeltaPct = &d
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		// Benchmarks with a baseline (the ones a PR is arguing about)
+		// sort first.
+		return (results[i].NsDeltaPct != nil) && (results[j].NsDeltaPct == nil)
+	})
+}

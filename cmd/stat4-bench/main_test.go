@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: stat4
+BenchmarkEchoValidation-8   	  500000	      2170 ns/op	     208 B/op	       3 allocs/op
+BenchmarkEchoValidation-8   	  500000	      2130 ns/op	     208 B/op	       3 allocs/op
+BenchmarkSwitchFreqUpdate-8 	  700000	      1750 ns/op	     168 B/op	       4 allocs/op
+BenchmarkCaseStudy-8        	       2	 600000000 ns/op
+PASS
+ok  	stat4	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	echo := results[0]
+	if echo.Name != "EchoValidation" {
+		t.Fatalf("first result %q, want EchoValidation", echo.Name)
+	}
+	if echo.NsOp != 2150 {
+		t.Fatalf("repeated runs not averaged: ns_op %v, want 2150", echo.NsOp)
+	}
+	if echo.AllocsOp != 3 || echo.BytesOp != 208 {
+		t.Fatalf("allocs/bytes wrong: %+v", echo)
+	}
+	if results[2].Name != "CaseStudy" || results[2].NsOp != 6e8 {
+		t.Fatalf("line without -benchmem columns mis-parsed: %+v", results[2])
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	stat4	12.3s",
+		"goos: linux",
+		"Benchmark",
+		"BenchmarkX-8 12 garbage ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	after, err := parseBench(strings.NewReader(
+		"BenchmarkSwitchFreqUpdate-8 1000000 500 ns/op 0 B/op 0 allocs/op\n" +
+			"BenchmarkNewOne-8 1000 100 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := parseBench(strings.NewReader(
+		"BenchmarkSwitchFreqUpdate-4 700000 1000 ns/op 168 B/op 4 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge(after, before)
+
+	freq := after[0]
+	if freq.Name != "SwitchFreqUpdate" {
+		t.Fatalf("baselined benchmark should sort first, got %q", freq.Name)
+	}
+	if freq.BaselineNsOp == nil || *freq.BaselineNsOp != 1000 {
+		t.Fatalf("baseline ns not attached: %+v", freq)
+	}
+	if freq.NsDeltaPct == nil || *freq.NsDeltaPct != -50 {
+		t.Fatalf("delta wrong: %+v", freq.NsDeltaPct)
+	}
+	if after[1].BaselineNsOp != nil {
+		t.Fatal("benchmark missing from baseline must not get fabricated numbers")
+	}
+}

@@ -142,7 +142,13 @@ func replay(path, track string, shift uint, window int, k, dst24Base uint64) err
 	return replayThrough(path, rt, track)
 }
 
-// replayThrough streams the capture into a prepared runtime and reports.
+// replayBatchSize bounds how many capture frames are handed to the switch
+// per ProcessBatch call; digests are drained between batches so the channel
+// never backs up on alert-heavy traces.
+const replayBatchSize = 256
+
+// replayThrough streams the capture into a prepared runtime in batches and
+// reports.
 func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -155,6 +161,23 @@ func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
 	frames := 0
 	var firstTs, lastTs uint64
 	var alerts []p4.Digest
+	drain := func() {
+		for {
+			select {
+			case d := <-sw.Digests():
+				alerts = append(alerts, d)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	batch := make([]p4.FrameIn, 0, replayBatchSize)
+	flush := func() {
+		sw.ProcessBatch(batch, nil)
+		drain()
+		batch = batch[:0]
+	}
 	for {
 		ts, frame, err := r.Next()
 		if errors.Is(err, io.EOF) {
@@ -167,18 +190,13 @@ func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
 			firstTs = ts
 		}
 		lastTs = ts
-		sw.ProcessFrame(ts, 1, frame)
-		for {
-			select {
-			case d := <-sw.Digests():
-				alerts = append(alerts, d)
-				continue
-			default:
-			}
-			break
+		batch = append(batch, p4.FrameIn{TsNs: ts, Port: 1, Data: frame})
+		if len(batch) == replayBatchSize {
+			flush()
 		}
 		frames++
 	}
+	flush()
 
 	st := sw.Stats()
 	m, _ := rt.ReadMoments(0)

@@ -61,19 +61,52 @@ func (p *ArchParams) defaults() {
 func ArchComparison(params ArchParams) ([]ArchRow, error) {
 	params.defaults()
 	periods := []uint64{1e6, 10e6, 100e6, 1e9} // 1 ms … 1 s
+
+	// Every (period, run) cell and every push run builds its own switch and
+	// simulator, so the whole comparison fans out over the worker pool; the
+	// reduction below walks the cells in the old serial order (including the
+	// last-run-wins OverheadKBps assignment), so rows are identical.
+	type pullOut struct {
+		delay    float64
+		detected bool
+		overhead float64
+		err      error
+	}
+	type pushOut struct {
+		delay    float64
+		detected bool
+		err      error
+	}
+	pulls := make([]pullOut, len(periods)*params.Runs)
+	pushes := make([]pushOut, params.Runs)
+	forEach(len(pulls)+len(pushes), func(i int) {
+		if i < len(pulls) {
+			period := periods[i/params.Runs]
+			seed := params.Seed + int64(i%params.Runs)*31
+			o := pullOut{}
+			o.delay, o.detected, o.overhead, o.err = archRun(params, period, seed)
+			pulls[i] = o
+		} else {
+			r := i - len(pulls)
+			o := pushOut{}
+			o.delay, o.detected, o.err = pushRun(params, params.Seed+int64(r)*31)
+			pushes[r] = o
+		}
+	})
+
 	var rows []ArchRow
-	for _, period := range periods {
+	for pi, period := range periods {
 		row := ArchRow{Arch: "sketch-only", PullPeriodMs: float64(period) / 1e6, Runs: params.Runs}
 		var delaySum float64
 		for r := 0; r < params.Runs; r++ {
-			delay, detected, overhead, err := archRun(params, period, params.Seed+int64(r)*31)
-			if err != nil {
-				return nil, err
+			o := pulls[pi*params.Runs+r]
+			if o.err != nil {
+				return nil, o.err
 			}
-			row.OverheadKBps = overhead
-			if detected {
+			row.OverheadKBps = o.overhead
+			if o.detected {
 				row.Detected++
-				delaySum += delay
+				delaySum += o.delay
 			}
 		}
 		if row.Detected > 0 {
@@ -87,14 +120,13 @@ func ArchComparison(params ArchParams) ([]ArchRow, error) {
 	// In-switch push row.
 	push := ArchRow{Arch: "in-switch (Stat4)", Runs: params.Runs}
 	var delaySum float64
-	for r := 0; r < params.Runs; r++ {
-		delay, detected, err := pushRun(params, params.Seed+int64(r)*31)
-		if err != nil {
-			return nil, err
+	for _, o := range pushes {
+		if o.err != nil {
+			return nil, o.err
 		}
-		if detected {
+		if o.detected {
 			push.Detected++
-			delaySum += delay
+			delaySum += o.delay
 		}
 	}
 	if push.Detected > 0 {

@@ -189,18 +189,33 @@ func CaseStudySweep(runs int, seed int64) ([]CaseStudySweepRow, error) {
 	return CaseStudySweepConfigs(DefaultSweep, runs, seed)
 }
 
-// CaseStudySweepConfigs runs the given configurations.
+// CaseStudySweepConfigs runs the given configurations. The (config, run)
+// grid fans out over the worker pool — each run owns its switch, controller
+// and simulator — and the per-config reduction walks runs in order, so the
+// rows match the serial sweep exactly.
 func CaseStudySweepConfigs(configs []SweepConfig, runs int, seed int64) ([]CaseStudySweepRow, error) {
+	type runOut struct {
+		res CaseStudyResult
+		err error
+	}
+	outs := make([]runOut, len(configs)*runs)
+	forEach(len(outs), func(i int) {
+		cfg := configs[i/runs]
+		res, err := CaseStudy(CaseStudyParams{
+			IntervalShift: cfg.Shift,
+			WindowSize:    cfg.Window,
+			Seed:          seed + int64(i%runs)*7919,
+		})
+		outs[i] = runOut{res: res, err: err}
+	})
+
 	var rows []CaseStudySweepRow
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		row := CaseStudySweepRow{IntervalShift: cfg.Shift, WindowSize: cfg.Window, Runs: runs}
 		var pinpoint float64
 		for r := 0; r < runs; r++ {
-			res, err := CaseStudy(CaseStudyParams{
-				IntervalShift: cfg.Shift,
-				WindowSize:    cfg.Window,
-				Seed:          seed + int64(r)*7919,
-			})
+			o := outs[ci*runs+r]
+			res, err := o.res, o.err
 			if err != nil {
 				return nil, err
 			}

@@ -36,13 +36,23 @@ var table3Cases = []struct {
 // sampled points, and report the 50th/90th percentile of that error before
 // and after N/2 samples, over `reps` repetitions (the paper uses 20).
 func Table3(reps int, seed int64) []Table3Row {
+	// Fan the (case, repetition) grid over the worker pool — every cell owns
+	// its tracker and RNG — then reduce per case in repetition order, so the
+	// rows match the old serial loop exactly.
+	type runOut struct{ before, after []float64 }
+	outs := make([]runOut, len(table3Cases)*reps)
+	forEach(len(outs), func(i int) {
+		c := table3Cases[i/reps]
+		b, a := table3Run(c.n, seed+int64(i%reps)*104729)
+		outs[i] = runOut{before: b, after: a}
+	})
 	rows := make([]Table3Row, 0, len(table3Cases))
-	for _, c := range table3Cases {
+	for ci, c := range table3Cases {
 		var before, after []float64
 		for rep := 0; rep < reps; rep++ {
-			b, a := table3Run(c.n, seed+int64(rep)*104729)
-			before = append(before, b...)
-			after = append(after, a...)
+			o := outs[ci*reps+rep]
+			before = append(before, o.before...)
+			after = append(after, o.after...)
 		}
 		rows = append(rows, Table3Row{
 			N:           c.n,

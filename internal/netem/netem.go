@@ -132,7 +132,9 @@ func (n *SwitchNode) route(outs []p4.FrameOut) {
 		if !ok {
 			continue
 		}
-		data := out.Data
+		// Copy: out.Data aliases the switch's deparse buffer, which is
+		// reused on the next frame, while delivery happens link.delay later.
+		data := append([]byte(nil), out.Data...)
 		n.Sim.After(link.delay, func() { link.deliver(n.Sim.Now(), data) })
 	}
 }

@@ -29,6 +29,7 @@ func (sw *Switch) Snapshot() *Snapshot {
 			c := *e
 			c.Match = append([]MatchValue(nil), e.Match...)
 			c.Args = append([]uint64(nil), e.Args...)
+			c.act = nil // snapshots are inert data; Restore rebinds
 			es = append(es, c)
 		}
 		t.mu.RUnlock()
@@ -84,6 +85,10 @@ func (sw *Switch) Restore(s *Snapshot) error {
 			c := e
 			c.Match = append([]MatchValue(nil), e.Match...)
 			c.Args = append([]uint64(nil), e.Args...)
+			// Rebind against this switch's compiled actions: the snapshot
+			// may come from another instance whose resolved pointers target
+			// that instance's registers.
+			c.act = t.acts[c.Action]
 			t.entries = append(t.entries, &c)
 			if c.ID > maxID {
 				maxID = c.ID
@@ -111,6 +116,7 @@ func (sw *Switch) TableEntries(tbl string) ([]Entry, error) {
 		c := *e
 		c.Match = append([]MatchValue(nil), e.Match...)
 		c.Args = append([]uint64(nil), e.Args...)
+		c.act = nil // introspection copies carry no execution state
 		out = append(out, c)
 	}
 	return out, nil

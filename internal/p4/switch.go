@@ -38,23 +38,37 @@ type Digest struct {
 	Values []uint64
 }
 
-// FrameOut is a frame emitted by the switch on an egress port.
+// FrameOut is a frame emitted by the switch on an egress port. Data points
+// into the switch's reusable deparse buffer: it is valid until the next
+// Process* call on the same switch, like a DMA region handed to the NIC.
+// Callers that retain frames (delayed delivery, logging) must copy.
 type FrameOut struct {
 	Port uint16
 	Data []byte
 }
 
+// FrameIn is one input frame of a ProcessBatch call.
+type FrameIn struct {
+	TsNs uint64
+	Port uint16
+	Data []byte
+}
+
 // Deparser rebuilds the outgoing frame from the original packet and the
-// final field values. The default deparser forwards the original frame
-// unchanged; applications that synthesise replies (like the echo validation
-// app) install their own.
+// final field values. buf is the switch's reusable deparse buffer, passed
+// with length zero; implementations append the frame to it and return the
+// result, so steady-state deparsing allocates nothing. The default deparser
+// forwards the original frame unchanged; applications that synthesise
+// replies (like the echo validation app) install their own.
 type Deparser interface {
-	Deparse(ctx *Ctx, orig *packet.Packet) []byte
+	Deparse(ctx *Ctx, orig *packet.Packet, buf []byte) []byte
 }
 
 type forwardDeparser struct{}
 
-func (forwardDeparser) Deparse(_ *Ctx, orig *packet.Packet) []byte { return orig.Serialize() }
+func (forwardDeparser) Deparse(_ *Ctx, orig *packet.Packet, buf []byte) []byte {
+	return orig.AppendSerialize(buf)
+}
 
 // Ctx is the per-packet execution context: the metadata field values. It is
 // handed to deparsers so they can read what the program computed.
@@ -74,7 +88,7 @@ func (c *Ctx) Get(id FieldID) uint64 { return c.fields[id] }
 //
 //stat4:datapath
 func (c *Ctx) Set(id FieldID, v uint64) {
-	c.fields[id] = v & widthMask(c.sw.prog.Fields[id].Width)
+	c.fields[id] = v & c.sw.fieldMask[id]
 }
 
 // Stats are the switch's global counters.
@@ -91,9 +105,36 @@ type Stats struct {
 	DigestDrops uint64
 }
 
+// switchCounters consolidates the global counters in one place. Every field
+// is atomic so a control-plane Stats() snapshot is race-free against the
+// single-goroutine data plane, and the data plane pays one uncontended
+// atomic add per event.
+type switchCounters struct {
+	pktsIn      atomic.Uint64
+	pktsOut     atomic.Uint64
+	dropped     atomic.Uint64
+	parseErrs   atomic.Uint64
+	runtimeErrs atomic.Uint64
+	digestDrops atomic.Uint64
+}
+
+// ExecMode selects which interpreter the data plane runs.
+type ExecMode uint8
+
+const (
+	// ExecCompiled (the default) dispatches over the flattened plan built by
+	// compile(): pre-resolved pointers, no per-packet name lookups.
+	ExecCompiled ExecMode = iota
+	// ExecTree walks the program's statement tree, resolving tables and
+	// actions by name per packet — the reference semantics the compiled plan
+	// is differentially tested against.
+	ExecTree
+)
+
 // Switch interprets a validated Program. ProcessFrame must be called from a
 // single goroutine (the data plane); table and register control-plane
-// methods may be called concurrently with it.
+// methods may be called concurrently with it. Output frames alias internal
+// scratch buffers — see FrameOut.
 type Switch struct {
 	prog     *Program
 	std      StdFields
@@ -102,19 +143,29 @@ type Switch struct {
 	digests  chan Digest
 	deparser Deparser
 
-	pktsIn, pktsOut, dropped uint64
-	parseErrs, runtimeErrs   uint64
-	digestDrops              uint64
+	// plan is the compiled execution plan; mode picks it or the reference
+	// tree walker. fieldMask caches widthMask(Fields[i].Width) so the hot
+	// path masks with one index instead of a struct load and shift.
+	plan      *plan
+	mode      ExecMode
+	fieldMask []uint64
 
-	// scratch is the per-packet context, reused across packets since the
-	// data plane is single-threaded (like a pipeline's PHV).
+	ctr switchCounters
+
+	// Per-packet scratch, reused across packets since the data plane is
+	// single-threaded (like a pipeline's PHV): the execution context, the
+	// decoded packet, table-key extraction (sized at compile time from the
+	// max key arity), the deparse buffer, and the one-element output slice.
 	scratch    Ctx
+	pktScratch packet.Packet
 	keyScratch []uint64
+	deparseBuf []byte
+	outScratch [1]FrameOut
 }
 
-// NewSwitch validates the program and instantiates its state. The digest
-// channel is buffered with the given capacity (a bounded mailbox to the
-// controller; 0 picks a default of 1024).
+// NewSwitch validates the program, instantiates its state and compiles the
+// execution plan. The digest channel is buffered with the given capacity (a
+// bounded mailbox to the controller; 0 picks a default of 1024).
 func NewSwitch(prog *Program, std StdFields, digestBuf int) (*Switch, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -136,11 +187,16 @@ func NewSwitch(prog *Program, std StdFields, digestBuf int) (*Switch, error) {
 	for _, td := range prog.Tables {
 		sw.tables[td.Name] = newTable(td, prog)
 	}
+	sw.compile()
 	return sw, nil
 }
 
 // SetDeparser installs a custom deparser.
 func (sw *Switch) SetDeparser(d Deparser) { sw.deparser = d }
+
+// SetExecMode selects the interpreter. Call it before processing traffic;
+// it is not synchronised with the data plane.
+func (sw *Switch) SetExecMode(m ExecMode) { sw.mode = m }
 
 // Digests returns the channel carrying data-plane alerts.
 func (sw *Switch) Digests() <-chan Digest { return sw.digests }
@@ -198,63 +254,83 @@ func (sw *Switch) EntryCount(tbl string) (int, error) {
 // Stats returns a snapshot of the switch counters.
 func (sw *Switch) Stats() Stats {
 	return Stats{
-		PktsIn:        atomic.LoadUint64(&sw.pktsIn),
-		PktsOut:       atomic.LoadUint64(&sw.pktsOut),
-		Dropped:       atomic.LoadUint64(&sw.dropped),
-		ParseErrors:   atomic.LoadUint64(&sw.parseErrs),
-		RuntimeErrors: atomic.LoadUint64(&sw.runtimeErrs),
-		DigestDrops:   atomic.LoadUint64(&sw.digestDrops),
+		PktsIn:        sw.ctr.pktsIn.Load(),
+		PktsOut:       sw.ctr.pktsOut.Load(),
+		Dropped:       sw.ctr.dropped.Load(),
+		ParseErrors:   sw.ctr.parseErrs.Load(),
+		RuntimeErrors: sw.ctr.runtimeErrs.Load(),
+		DigestDrops:   sw.ctr.digestDrops.Load(),
 	}
 }
 
 // ProcessFrame runs one frame through the pipeline: parse, execute the
 // control flow, deparse. tsNs is the ingress timestamp in nanoseconds (the
 // simulator's virtual clock). Unparseable frames are dropped and counted,
-// like a real parser's reject state.
+// like a real parser's reject state. The returned frames alias switch
+// scratch and stay valid until the next Process* call.
 func (sw *Switch) ProcessFrame(tsNs uint64, inPort uint16, data []byte) []FrameOut {
-	atomic.AddUint64(&sw.pktsIn, 1)
-	pkt, err := packet.Parse(data)
-	if err != nil {
-		atomic.AddUint64(&sw.parseErrs, 1)
-		atomic.AddUint64(&sw.dropped, 1)
+	sw.ctr.pktsIn.Add(1)
+	if err := packet.ParseInto(&sw.pktScratch, data); err != nil {
+		sw.ctr.parseErrs.Add(1)
+		sw.ctr.dropped.Add(1)
 		return nil
 	}
-	return sw.processPacket(tsNs, inPort, pkt)
+	return sw.processPacket(tsNs, inPort, &sw.pktScratch)
 }
 
 // ProcessPacket is ProcessFrame for callers that already hold a decoded
 // packet; it avoids the serialize/parse round trip in tight simulation
 // loops. The packet must not be mutated while the call runs.
 func (sw *Switch) ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
-	atomic.AddUint64(&sw.pktsIn, 1)
+	sw.ctr.pktsIn.Add(1)
 	return sw.processPacket(tsNs, inPort, pkt)
+}
+
+// ProcessBatch runs a batch of frames through the pipeline in order, calling
+// emit for every output frame — the entry point replay and benchmark loops
+// drive. emit may be nil to process for side effects only. Each emitted
+// frame's Data is valid only during its emit call (the buffer is reused for
+// the next frame in the batch).
+func (sw *Switch) ProcessBatch(batch []FrameIn, emit func(FrameOut)) {
+	for i := range batch {
+		f := &batch[i]
+		outs := sw.ProcessFrame(f.TsNs, f.Port, f.Data)
+		if emit != nil {
+			for _, o := range outs {
+				emit(o)
+			}
+		}
+	}
 }
 
 func (sw *Switch) processPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
 	ctx := &sw.scratch
-	if ctx.fields == nil {
-		ctx.fields = make([]uint64, len(sw.prog.Fields))
-		ctx.sw = sw
-	} else {
-		for i := range ctx.fields {
-			ctx.fields[i] = 0
-		}
+	fields := ctx.fields
+	for i := range fields {
+		fields[i] = 0
 	}
 	sw.std.extract(ctx, tsNs, inPort, pkt)
-	sw.execStmts(ctx, sw.prog.Control)
-	if ctx.fields[sw.std.Drop] != 0 {
-		atomic.AddUint64(&sw.dropped, 1)
+	if sw.mode == ExecTree {
+		sw.execStmts(ctx, sw.prog.Control)
+	} else {
+		sw.execPlan(ctx)
+	}
+	if fields[sw.std.Drop] != 0 {
+		sw.ctr.dropped.Add(1)
 		return nil
 	}
-	out := sw.deparser.Deparse(ctx, pkt)
-	atomic.AddUint64(&sw.pktsOut, 1)
-	return []FrameOut{{Port: uint16(ctx.fields[sw.std.Egress]), Data: out}}
+	out := sw.deparser.Deparse(ctx, pkt, sw.deparseBuf[:0])
+	sw.deparseBuf = out[:0]
+	sw.ctr.pktsOut.Add(1)
+	sw.outScratch[0] = FrameOut{Port: uint16(fields[sw.std.Egress]), Data: out}
+	return sw.outScratch[:]
 }
 
-// execStmts interprets a statement list. The recursion into IfStmt branches
-// and the iteration over the list walk the program's fixed control-flow tree:
-// its depth and size are set when the program is emitted, so on the target
-// this is the straight-line pipeline itself, not runtime looping.
+// execStmts interprets a statement list: the ExecTree reference semantics.
+// The recursion into IfStmt branches and the iteration over the list walk
+// the program's fixed control-flow tree: its depth and size are set when the
+// program is emitted, so on the target this is the straight-line pipeline
+// itself, not runtime looping.
 //
 //stat4:datapath
 //stat4:exempt:boundedloop walks the compile-time control-flow tree of the emitted program
@@ -263,7 +339,9 @@ func (sw *Switch) execStmts(ctx *Ctx, stmts []Stmt) {
 		switch st := s.(type) {
 		case ApplyStmt:
 			t := sw.tables[st.Table]
-			// Key extraction: one fixed field copy per declared key.
+			// Key extraction: one fixed field copy per declared key. The
+			// scratch is pre-sized at compile time; the guard only fires for
+			// hand-built switches that bypassed compile.
 			if cap(sw.keyScratch) < len(t.def.Keys) {
 				sw.keyScratch = make([]uint64, len(t.def.Keys))
 			}
@@ -327,7 +405,7 @@ func (sw *Switch) execAction(ctx *Ctx, a *Action, args []uint64) {
 //
 //stat4:datapath
 func (sw *Switch) setField(ctx *Ctx, id FieldID, v uint64) {
-	ctx.fields[id] = v & widthMask(sw.prog.Fields[id].Width)
+	ctx.fields[id] = v & sw.fieldMask[id]
 }
 
 // execOp interprets one primitive. Every case is work a single pipeline
@@ -348,9 +426,8 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 	case OpMul:
 		sw.setField(ctx, op.Dst.Field, sw.resolve(ctx, op.A)*sw.resolve(ctx, op.B))
 	case OpSatAdd:
-		w := sw.prog.Fields[op.Dst.Field].Width
 		a, b := sw.resolve(ctx, op.A), sw.resolve(ctx, op.B)
-		max := widthMask(w)
+		max := sw.fieldMask[op.Dst.Field]
 		sum := a + b
 		if sum < a || sum > max {
 			sum = max
@@ -389,13 +466,13 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 		r := sw.regs[op.Reg]
 		v, ok := r.read(sw.resolve(ctx, op.A))
 		if !ok {
-			atomic.AddUint64(&sw.runtimeErrs, 1)
+			sw.ctr.runtimeErrs.Add(1)
 		}
 		sw.setField(ctx, op.Dst.Field, v)
 	case OpRegWrite:
 		r := sw.regs[op.Reg]
 		if !r.write(sw.resolve(ctx, op.A), sw.resolve(ctx, op.B)) {
-			atomic.AddUint64(&sw.runtimeErrs, 1)
+			sw.ctr.runtimeErrs.Add(1)
 		}
 	case OpHash:
 		sw.setField(ctx, op.Dst.Field, HashValue(op.HashID, sw.resolve(ctx, op.A))&op.B.Const)
@@ -408,10 +485,10 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 		select {
 		case sw.digests <- d:
 		default:
-			atomic.AddUint64(&sw.digestDrops, 1)
+			sw.ctr.digestDrops.Add(1)
 		}
 	case OpSetEgress:
-		ctx.fields[sw.std.Egress] = sw.resolve(ctx, op.A) & widthMask(sw.prog.Fields[sw.std.Egress].Width)
+		ctx.fields[sw.std.Egress] = sw.resolve(ctx, op.A) & sw.fieldMask[sw.std.Egress]
 	case OpDrop:
 		ctx.fields[sw.std.Drop] = 1
 	}

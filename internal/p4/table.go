@@ -66,6 +66,12 @@ type Entry struct {
 	Priority int // ternary tie-break: higher wins
 	Action   string
 	Args     []uint64
+
+	// act is the action resolved against the owning switch's compiled plan,
+	// bound when the entry is installed or modified — the rule-install-time
+	// resolution a real driver does, so the per-packet path never looks the
+	// name up. Restore rebinds it: a snapshot may cross switch instances.
+	act *compiledAction
 }
 
 // Errors returned by runtime table operations.
@@ -89,7 +95,11 @@ type table struct {
 	// scan is faithful to TCAM semantics and fast enough.
 	entries []*Entry
 
-	hits, misses uint64
+	// acts is the switch's compiled action set, installed by compile();
+	// insert/modify/Restore resolve entry actions against it.
+	acts map[string]*compiledAction
+
+	hits, misses atomic.Uint64
 }
 
 func newTable(def *TableDef, prog *Program) *table {
@@ -145,6 +155,7 @@ func (t *table) insert(match []MatchValue, prio int, action string, args []uint6
 		Priority: prio,
 		Action:   action,
 		Args:     append([]uint64(nil), args...),
+		act:      t.acts[action],
 	}
 	t.nextID++
 	t.entries = append(t.entries, e)
@@ -161,6 +172,7 @@ func (t *table) modify(id EntryID, action string, args []uint64) error {
 			}
 			e.Action = action
 			e.Args = append([]uint64(nil), args...)
+			e.act = t.acts[action]
 			return nil
 		}
 	}
@@ -217,9 +229,9 @@ func (t *table) lookup(keys []uint64) *Entry {
 		}
 	}
 	if best != nil {
-		atomic.AddUint64(&t.hits, 1)
+		t.hits.Add(1)
 	} else {
-		atomic.AddUint64(&t.misses, 1)
+		t.misses.Add(1)
 	}
 	return best
 }

@@ -45,14 +45,18 @@ func UnmarshalEchoRequest(b []byte) (EchoRequest, error) {
 
 // MarshalEchoReply encodes the reply payload.
 func MarshalEchoReply(r EchoReply) []byte {
-	b := make([]byte, echoReplyLen)
-	binary.BigEndian.PutUint64(b[0:8], r.N)
-	binary.BigEndian.PutUint64(b[8:16], r.Xsum)
-	binary.BigEndian.PutUint64(b[16:24], r.Xsumsq)
-	binary.BigEndian.PutUint64(b[24:32], r.Var)
-	binary.BigEndian.PutUint64(b[32:40], r.SD)
-	binary.BigEndian.PutUint64(b[40:48], r.Median)
-	return b
+	return AppendEchoReply(make([]byte, 0, echoReplyLen), r)
+}
+
+// AppendEchoReply appends the encoded reply payload to dst, allocating only
+// when dst lacks capacity — the echo deparser's per-packet path.
+func AppendEchoReply(dst []byte, r EchoReply) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.N)
+	dst = binary.BigEndian.AppendUint64(dst, r.Xsum)
+	dst = binary.BigEndian.AppendUint64(dst, r.Xsumsq)
+	dst = binary.BigEndian.AppendUint64(dst, r.Var)
+	dst = binary.BigEndian.AppendUint64(dst, r.SD)
+	return binary.BigEndian.AppendUint64(dst, r.Median)
 }
 
 // UnmarshalEchoReply decodes a reply payload.

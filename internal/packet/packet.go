@@ -172,31 +172,42 @@ const (
 // the remaining bytes in Payload rather than failing, like a switch that
 // forwards what it cannot parse.
 func Parse(b []byte) (*Packet, error) {
-	if len(b) < ethLen {
-		return nil, fmt.Errorf("%w: %d bytes for Ethernet", ErrTruncated, len(b))
+	p := &Packet{}
+	if err := ParseInto(p, b); err != nil {
+		return nil, err
 	}
-	p := &Packet{WireLen: len(b)}
+	return p, nil
+}
+
+// ParseInto decodes an Ethernet frame into a caller-owned Packet, overwriting
+// its previous contents. It allocates nothing, so tight per-packet loops (the
+// switch's ingress parser) can reuse one Packet as scratch. Payload aliases b.
+func ParseInto(p *Packet, b []byte) error {
+	if len(b) < ethLen {
+		return fmt.Errorf("%w: %d bytes for Ethernet", ErrTruncated, len(b))
+	}
+	*p = Packet{WireLen: len(b)}
 	copy(p.Eth.Dst[:], b[0:6])
 	copy(p.Eth.Src[:], b[6:12])
 	p.Eth.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
 	rest := b[ethLen:]
 	if p.Eth.Type != EtherTypeIPv4 {
 		p.Payload = rest
-		return p, nil
+		return nil
 	}
 	if len(rest) < ipv4Len {
-		return nil, fmt.Errorf("%w: %d bytes for IPv4", ErrTruncated, len(rest))
+		return fmt.Errorf("%w: %d bytes for IPv4", ErrTruncated, len(rest))
 	}
 	vihl := rest[0]
 	if vihl>>4 != 4 {
-		return nil, fmt.Errorf("%w: IP version %d", ErrBadHeader, vihl>>4)
+		return fmt.Errorf("%w: IP version %d", ErrBadHeader, vihl>>4)
 	}
 	ihl := int(vihl&0x0f) * 4
 	if ihl < ipv4Len {
-		return nil, fmt.Errorf("%w: IHL %d", ErrBadHeader, ihl)
+		return fmt.Errorf("%w: IHL %d", ErrBadHeader, ihl)
 	}
 	if len(rest) < ihl {
-		return nil, fmt.Errorf("%w: IHL %d with %d bytes", ErrTruncated, ihl, len(rest))
+		return fmt.Errorf("%w: IHL %d with %d bytes", ErrTruncated, ihl, len(rest))
 	}
 	p.HasIPv4 = true
 	p.IPv4.TOS = rest[1]
@@ -208,13 +219,13 @@ func Parse(b []byte) (*Packet, error) {
 	p.IPv4.Src = IP4(binary.BigEndian.Uint32(rest[12:16]))
 	p.IPv4.Dst = IP4(binary.BigEndian.Uint32(rest[16:20]))
 	if int(p.IPv4.TotalLen) < ihl || int(p.IPv4.TotalLen) > len(rest) {
-		return nil, fmt.Errorf("%w: IPv4 total length %d of %d", ErrBadHeader, p.IPv4.TotalLen, len(rest))
+		return fmt.Errorf("%w: IPv4 total length %d of %d", ErrBadHeader, p.IPv4.TotalLen, len(rest))
 	}
 	body := rest[ihl:p.IPv4.TotalLen]
 	switch p.IPv4.Proto {
 	case ProtoTCP:
 		if len(body) < tcpLen {
-			return nil, fmt.Errorf("%w: %d bytes for TCP", ErrTruncated, len(body))
+			return fmt.Errorf("%w: %d bytes for TCP", ErrTruncated, len(body))
 		}
 		p.HasTCP = true
 		p.TCP.SrcPort = binary.BigEndian.Uint16(body[0:2])
@@ -223,7 +234,7 @@ func Parse(b []byte) (*Packet, error) {
 		p.TCP.Ack = binary.BigEndian.Uint32(body[8:12])
 		off := int(body[12]>>4) * 4
 		if off < tcpLen || off > len(body) {
-			return nil, fmt.Errorf("%w: TCP offset %d", ErrBadHeader, off)
+			return fmt.Errorf("%w: TCP offset %d", ErrBadHeader, off)
 		}
 		p.TCP.Flags = body[13] & 0x1f
 		p.TCP.Window = binary.BigEndian.Uint16(body[14:16])
@@ -231,7 +242,7 @@ func Parse(b []byte) (*Packet, error) {
 		p.Payload = body[off:]
 	case ProtoUDP:
 		if len(body) < udpLen {
-			return nil, fmt.Errorf("%w: %d bytes for UDP", ErrTruncated, len(body))
+			return fmt.Errorf("%w: %d bytes for UDP", ErrTruncated, len(body))
 		}
 		p.HasUDP = true
 		p.UDP.SrcPort = binary.BigEndian.Uint16(body[0:2])
@@ -239,66 +250,91 @@ func Parse(b []byte) (*Packet, error) {
 		p.UDP.Len = binary.BigEndian.Uint16(body[4:6])
 		p.UDP.Checksum = binary.BigEndian.Uint16(body[6:8])
 		if int(p.UDP.Len) < udpLen || int(p.UDP.Len) > len(body) {
-			return nil, fmt.Errorf("%w: UDP length %d of %d", ErrBadHeader, p.UDP.Len, len(body))
+			return fmt.Errorf("%w: UDP length %d of %d", ErrBadHeader, p.UDP.Len, len(body))
 		}
 		p.Payload = body[udpLen:p.UDP.Len]
 	default:
 		p.Payload = body
 	}
-	return p, nil
+	return nil
 }
 
 // Serialize rebuilds the frame's wire bytes. Lengths and the IPv4 checksum
 // are recomputed from the layers present; stored checksum fields for TCP and
 // UDP are emitted as-is (the simulator does not verify transport checksums,
 // matching bmv2's default).
-func (p *Packet) Serialize() []byte {
-	var transport []byte
+func (p *Packet) Serialize() []byte { return p.AppendSerialize(nil) }
+
+// AppendSerialize appends the frame's wire bytes to dst and returns the
+// extended slice. With a dst of sufficient capacity it performs no
+// allocation, which is what the switch's deparsers rely on to keep the
+// per-packet path allocation-free.
+func (p *Packet) AppendSerialize(dst []byte) []byte {
+	transportLen := len(p.Payload)
 	switch {
 	case p.HasTCP:
-		transport = make([]byte, tcpLen, tcpLen+len(p.Payload))
-		binary.BigEndian.PutUint16(transport[0:2], p.TCP.SrcPort)
-		binary.BigEndian.PutUint16(transport[2:4], p.TCP.DstPort)
-		binary.BigEndian.PutUint32(transport[4:8], p.TCP.Seq)
-		binary.BigEndian.PutUint32(transport[8:12], p.TCP.Ack)
-		transport[12] = (tcpLen / 4) << 4
-		transport[13] = p.TCP.Flags
-		binary.BigEndian.PutUint16(transport[14:16], p.TCP.Window)
-		binary.BigEndian.PutUint16(transport[16:18], p.TCP.Checksum)
-		transport = append(transport, p.Payload...)
+		transportLen += tcpLen
 	case p.HasUDP:
-		transport = make([]byte, udpLen, udpLen+len(p.Payload))
-		binary.BigEndian.PutUint16(transport[0:2], p.UDP.SrcPort)
-		binary.BigEndian.PutUint16(transport[2:4], p.UDP.DstPort)
-		binary.BigEndian.PutUint16(transport[4:6], uint16(udpLen+len(p.Payload)))
-		binary.BigEndian.PutUint16(transport[6:8], p.UDP.Checksum)
-		transport = append(transport, p.Payload...)
-	default:
-		transport = p.Payload
+		transportLen += udpLen
 	}
-
-	var network []byte
+	networkLen := transportLen
 	if p.HasIPv4 {
-		network = make([]byte, ipv4Len, ipv4Len+len(transport))
-		network[0] = 4<<4 | ipv4Len/4
-		network[1] = p.IPv4.TOS
-		binary.BigEndian.PutUint16(network[2:4], uint16(ipv4Len+len(transport)))
-		binary.BigEndian.PutUint16(network[4:6], p.IPv4.ID)
-		network[8] = p.IPv4.TTL
-		network[9] = uint8(p.IPv4.Proto)
-		binary.BigEndian.PutUint32(network[12:16], uint32(p.IPv4.Src))
-		binary.BigEndian.PutUint32(network[16:20], uint32(p.IPv4.Dst))
-		binary.BigEndian.PutUint16(network[10:12], ipv4Checksum(network[:ipv4Len]))
-		network = append(network, transport...)
-	} else {
-		network = transport
+		networkLen += ipv4Len
+	}
+	start := len(dst)
+	dst = grow(dst, ethLen+networkLen)
+	b := dst[start:]
+
+	copy(b[0:6], p.Eth.Dst[:])
+	copy(b[6:12], p.Eth.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(p.Eth.Type))
+	b = b[ethLen:]
+
+	if p.HasIPv4 {
+		b[0] = 4<<4 | ipv4Len/4
+		b[1] = p.IPv4.TOS
+		binary.BigEndian.PutUint16(b[2:4], uint16(ipv4Len+transportLen))
+		binary.BigEndian.PutUint16(b[4:6], p.IPv4.ID)
+		b[6], b[7] = 0, 0 // flags and fragment offset
+		b[8] = p.IPv4.TTL
+		b[9] = uint8(p.IPv4.Proto)
+		binary.BigEndian.PutUint32(b[12:16], uint32(p.IPv4.Src))
+		binary.BigEndian.PutUint32(b[16:20], uint32(p.IPv4.Dst))
+		binary.BigEndian.PutUint16(b[10:12], ipv4Checksum(b[:ipv4Len]))
+		b = b[ipv4Len:]
 	}
 
-	frame := make([]byte, ethLen, ethLen+len(network))
-	copy(frame[0:6], p.Eth.Dst[:])
-	copy(frame[6:12], p.Eth.Src[:])
-	binary.BigEndian.PutUint16(frame[12:14], uint16(p.Eth.Type))
-	return append(frame, network...)
+	switch {
+	case p.HasTCP:
+		binary.BigEndian.PutUint16(b[0:2], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(b[4:8], p.TCP.Seq)
+		binary.BigEndian.PutUint32(b[8:12], p.TCP.Ack)
+		b[12] = (tcpLen / 4) << 4
+		b[13] = p.TCP.Flags
+		binary.BigEndian.PutUint16(b[14:16], p.TCP.Window)
+		binary.BigEndian.PutUint16(b[16:18], p.TCP.Checksum)
+		b[18], b[19] = 0, 0 // urgent pointer
+		copy(b[tcpLen:], p.Payload)
+	case p.HasUDP:
+		binary.BigEndian.PutUint16(b[0:2], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(b[4:6], uint16(udpLen+len(p.Payload)))
+		binary.BigEndian.PutUint16(b[6:8], p.UDP.Checksum)
+		copy(b[udpLen:], p.Payload)
+	default:
+		copy(b, p.Payload)
+	}
+	return dst
+}
+
+// grow extends dst by n bytes, reusing capacity when it can. The new bytes
+// are not guaranteed to be zero; callers overwrite every position.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[: len(dst)+n : cap(dst)]
+	}
+	return append(dst, make([]byte, n)...)
 }
 
 // ipv4Checksum computes the Internet checksum over the header with its

@@ -1,6 +1,8 @@
 package stat4p4
 
 import (
+	"encoding/binary"
+
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 )
@@ -13,26 +15,24 @@ type EchoDeparser struct {
 	lib *Library
 }
 
-// Deparse implements p4.Deparser.
-func (d EchoDeparser) Deparse(ctx *p4.Ctx, orig *packet.Packet) []byte {
+// Deparse implements p4.Deparser, appending the outgoing frame into the
+// switch's reusable buffer so the reply path allocates nothing.
+func (d EchoDeparser) Deparse(ctx *p4.Ctx, orig *packet.Packet, buf []byte) []byte {
 	f := &d.lib.f
 	if ctx.Get(f.repValid) != 1 {
-		return orig.Serialize()
+		return orig.AppendSerialize(buf)
 	}
-	reply := packet.Packet{
-		Eth: packet.Ethernet{
-			Dst:  orig.Eth.Src,
-			Src:  orig.Eth.Dst,
-			Type: packet.EtherTypeEcho,
-		},
-		Payload: packet.MarshalEchoReply(packet.EchoReply{
-			N:      ctx.Get(f.n),
-			Xsum:   ctx.Get(f.xsum),
-			Xsumsq: ctx.Get(f.xsumsq),
-			Var:    ctx.Get(f.sqin),
-			SD:     ctx.Get(f.sqout),
-			Median: ctx.Get(f.med),
-		}),
-	}
-	return reply.Serialize()
+	// Ethernet header with the addresses swapped, then the reply payload —
+	// byte-identical to serialising a reply Packet, without building one.
+	buf = append(buf, orig.Eth.Src[:]...)
+	buf = append(buf, orig.Eth.Dst[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(packet.EtherTypeEcho))
+	return packet.AppendEchoReply(buf, packet.EchoReply{
+		N:      ctx.Get(f.n),
+		Xsum:   ctx.Get(f.xsum),
+		Xsumsq: ctx.Get(f.xsumsq),
+		Var:    ctx.Get(f.sqin),
+		SD:     ctx.Get(f.sqout),
+		Median: ctx.Get(f.med),
+	})
 }

@@ -1,0 +1,143 @@
+// Allocation regression tests for the data plane: after the compile step and
+// scratch-reuse work, one packet through the switch must not allocate. These
+// pin the property so a future change that re-introduces a per-packet
+// allocation fails loudly rather than showing up as a benchmark regression.
+package stat4
+
+import (
+	"testing"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+)
+
+// warmupPackets runs enough traffic to take every lazily-grown buffer (deparse
+// buffer, digest channel headroom) to steady state before measuring.
+const warmupPackets = 4096
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs/packet, want 0", name, avg)
+	}
+}
+
+func TestProcessPacketZeroAllocFreq(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 0, 0, 256, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize())
+	ts := uint64(0)
+	for i := 0; i < warmupPackets; i++ {
+		ts++
+		sw.ProcessPacket(ts, 1, pkt)
+	}
+	assertZeroAllocs(t, "freq", func() {
+		ts++
+		sw.ProcessPacket(ts, 1, pkt)
+	})
+}
+
+func TestProcessPacketZeroAllocWindow(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindWindow(0, 0, stat4p4.AllIPv4(), 10, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize())
+	// Perfectly steady traffic: interval folds happen, anomaly digests don't.
+	ts := uint64(0)
+	for i := 0; i < warmupPackets; i++ {
+		ts += 10
+		sw.ProcessPacket(ts, 1, pkt)
+	}
+	assertZeroAllocs(t, "window", func() {
+		ts += 10
+		sw.ProcessPacket(ts, 1, pkt)
+	})
+}
+
+func TestProcessPacketZeroAllocSparse(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1, Sparse: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindSparseDst(0, 0, stat4p4.AllIPv4(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.ParseIP4(203, 0, 113, 9), 5, 80, 10).Serialize())
+	ts := uint64(0)
+	for i := 0; i < warmupPackets; i++ {
+		ts++
+		sw.ProcessPacket(ts, 1, pkt)
+	}
+	assertZeroAllocs(t, "sparse", func() {
+		ts++
+		sw.ProcessPacket(ts, 1, pkt)
+	})
+}
+
+// TestProcessFrameZeroAllocEcho covers the full frame path — parse into the
+// packet scratch, frequency update, median step, reply deparse into the
+// reused buffer — for the echo validation app.
+func TestProcessFrameZeroAllocEcho(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 512, Stages: 1, Echo: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindFreqEcho(0, 0, stat4p4.EchoOnly(), stat4p4.EchoBias-255, 512, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	frame := packet.NewEchoFrame(packet.MAC{1}, packet.MAC{2}, 42).Serialize()
+	ts := uint64(0)
+	for i := 0; i < warmupPackets; i++ {
+		ts++
+		if out := sw.ProcessFrame(ts, 1, frame); len(out) != 1 {
+			t.Fatal("no echo reply")
+		}
+	}
+	assertZeroAllocs(t, "echo", func() {
+		ts++
+		sw.ProcessFrame(ts, 1, frame)
+	})
+}
+
+// TestProcessBatchZeroAlloc pins the batch entry point: the loop and emit
+// callback must add nothing on top of the per-frame path.
+func TestProcessBatchZeroAlloc(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 0, 0, 256, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	frame := packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize()
+	batch := make([]p4.FrameIn, 64)
+	ts := uint64(0)
+	for i := range batch {
+		ts++
+		batch[i] = p4.FrameIn{TsNs: ts, Port: 1, Data: frame}
+	}
+	var seen int
+	emit := func(p4.FrameOut) { seen++ }
+	sw.ProcessBatch(batch, emit)
+	assertZeroAllocs(t, "batch", func() {
+		sw.ProcessBatch(batch, emit)
+	})
+	if seen == 0 {
+		t.Fatal("emit never called")
+	}
+}
