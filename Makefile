@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench fuzz-smoke check clean
+.PHONY: all build test race vet lint bench fuzz-smoke metrics-smoke check clean
 
 all: build
 
@@ -51,7 +51,13 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -run=^$$ -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/stat4p4/
 
-check: build vet lint race fuzz-smoke
+# metrics-smoke replays a small synthetic capture with telemetry attached and
+# asserts the Prometheus-style exposition parses (integer-only, quantiles from
+# the Stat4 percentile markers) — the -metrics flag's end-to-end gate.
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke -v ./cmd/stat4-replay
+
+check: build vet lint race fuzz-smoke metrics-smoke
 
 clean:
 	rm -rf bin

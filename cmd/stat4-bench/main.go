@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -33,8 +34,15 @@ type Result struct {
 	BaselineNsOp     *float64 `json:"baseline_ns_op,omitempty"`
 	BaselineAllocsOp *float64 `json:"baseline_allocs_op,omitempty"`
 	// NsDeltaPct is (ns_op - baseline_ns_op) / baseline_ns_op * 100;
-	// negative means faster than the baseline.
+	// negative means faster than the baseline. Omitted (nil) when the
+	// baseline is zero or not finite: a relative change against a zero
+	// baseline is undefined, and NaN/Inf would make the whole artifact
+	// unmarshalable (encoding/json rejects them).
 	NsDeltaPct *float64 `json:"ns_delta_pct,omitempty"`
+	// AllocsDeltaPct is the same relative change for allocs/op, with the
+	// same zero-baseline omission — zero-alloc benchmarks (the common case
+	// here) keep a baseline of 0 and no delta rather than a fabricated one.
+	AllocsDeltaPct *float64 `json:"allocs_delta_pct,omitempty"`
 }
 
 func main() {
@@ -189,14 +197,28 @@ func merge(results, base []*Result) {
 		ns, allocs := b.NsOp, b.AllocsOp
 		r.BaselineNsOp = &ns
 		r.BaselineAllocsOp = &allocs
-		if ns > 0 {
-			d := (r.NsOp - ns) / ns * 100
-			r.NsDeltaPct = &d
-		}
+		r.NsDeltaPct = deltaPct(r.NsOp, ns)
+		r.AllocsDeltaPct = deltaPct(r.AllocsOp, allocs)
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		// Benchmarks with a baseline (the ones a PR is arguing about)
-		// sort first.
-		return (results[i].NsDeltaPct != nil) && (results[j].NsDeltaPct == nil)
+		// sort first — keyed on the baseline itself, not the delta, so a
+		// zero-ns baseline row still sorts with its peers.
+		return (results[i].BaselineNsOp != nil) && (results[j].BaselineNsOp == nil)
 	})
+}
+
+// deltaPct returns the relative change in percent, or nil when the baseline
+// is zero or either value is not finite — cases where the ratio is undefined
+// and would poison the JSON artifact with NaN/Inf.
+func deltaPct(after, before float64) *float64 {
+	if before == 0 || math.IsNaN(before) || math.IsInf(before, 0) ||
+		math.IsNaN(after) || math.IsInf(after, 0) {
+		return nil
+	}
+	d := (after - before) / before * 100
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil
+	}
+	return &d
 }

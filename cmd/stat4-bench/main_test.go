@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,57 @@ func TestMerge(t *testing.T) {
 	}
 	if after[1].BaselineNsOp != nil {
 		t.Fatal("benchmark missing from baseline must not get fabricated numbers")
+	}
+	if freq.AllocsDeltaPct == nil || *freq.AllocsDeltaPct != -100 {
+		t.Fatalf("allocs delta wrong: %+v", freq.AllocsDeltaPct)
+	}
+}
+
+// A zero-valued baseline (a benchmark so fast it rounds to 0 ns/op, or a
+// zero-alloc baseline) must yield nil deltas — not ±Inf/NaN, which
+// encoding/json refuses to marshal — while still attaching the baseline
+// numbers and sorting the row with the other baselined benchmarks.
+func TestMergeZeroBaseline(t *testing.T) {
+	after, err := parseBench(strings.NewReader(
+		"BenchmarkUnbaselined-8 1000 100 ns/op 0 B/op 0 allocs/op\n" +
+			"BenchmarkZeroBase-8 1000000 500 ns/op 16 B/op 2 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := parseBench(strings.NewReader(
+		"BenchmarkZeroBase-8 1000000000 0 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge(after, before)
+
+	zb := after[0]
+	if zb.Name != "ZeroBase" {
+		t.Fatalf("baselined benchmark should sort first even with a zero baseline, got %q", zb.Name)
+	}
+	if zb.BaselineNsOp == nil || *zb.BaselineNsOp != 0 {
+		t.Fatalf("zero baseline ns not attached: %+v", zb)
+	}
+	if zb.NsDeltaPct != nil {
+		t.Fatalf("zero-ns baseline must omit the ns delta, got %v", *zb.NsDeltaPct)
+	}
+	if zb.AllocsDeltaPct != nil {
+		t.Fatalf("zero-alloc baseline must omit the allocs delta, got %v", *zb.AllocsDeltaPct)
+	}
+	if _, err := json.Marshal(after); err != nil {
+		t.Fatalf("artifact with zero-valued baseline must marshal: %v", err)
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	if d := deltaPct(150, 100); d == nil || *d != 50 {
+		t.Fatalf("deltaPct(150,100) = %v, want 50", d)
+	}
+	for _, c := range []struct{ after, before float64 }{
+		{100, 0}, {0, 0},
+	} {
+		if d := deltaPct(c.after, c.before); d != nil {
+			t.Fatalf("deltaPct(%v,%v) = %v, want nil", c.after, c.before, *d)
+		}
 	}
 }

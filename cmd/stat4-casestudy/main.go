@@ -13,8 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
 
 	"stat4/internal/experiments"
+	"stat4/internal/telemetry"
 )
 
 func main() {
@@ -26,7 +30,26 @@ func main() {
 	ctrlMs := flag.Uint64("ctrl-delay-ms", 400, "one-way switch-controller latency")
 	sweep := flag.Bool("sweep", false, "run the interval/window sweep instead")
 	seed := flag.Int64("seed", 1, "base seed")
+	metrics := flag.Bool("metrics", false, "print the telemetry exposition after the runs")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the runs")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
+	var pipeline *telemetry.Pipeline
+	var reg *telemetry.Registry
+	if *metrics || *metricsOut != "" {
+		pipeline = telemetry.NewPipeline()
+		reg = telemetry.NewRegistry("stat4_casestudy")
+		pipeline.Register(reg)
+	}
 
 	if *sweep {
 		rows, err := experiments.CaseStudySweep(*runs, *seed)
@@ -46,6 +69,7 @@ func main() {
 			WindowSize:    *window,
 			CtrlDelay:     *ctrlMs * 1e6,
 			Seed:          *seed + int64(r)*7919,
+			Telemetry:     pipeline,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -66,4 +90,25 @@ func main() {
 	}
 	fmt.Printf("\nsummary: %d/%d detected in the first interval, %d/%d destinations pinpointed correctly\n",
 		firstInterval, *runs, hostCorrect, *runs)
+
+	if reg != nil {
+		if *metrics {
+			if err := reg.WriteProm(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 }

@@ -16,11 +16,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
+	"stat4/internal/telemetry"
 	"stat4/internal/traffic"
 )
 
@@ -35,7 +38,18 @@ func main() {
 	k := flag.Uint64("k", 2, "sigma multiplier for the anomaly check (0 disables for freq modes)")
 	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
 	configPath := flag.String("config", "", "JSON app config (overrides -track and friends)")
+	metrics := flag.Bool("metrics", false, "print the telemetry exposition after the replay")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the replay")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	if *record != "" {
 		if err := recordTrace(*record, *seconds); err != nil {
@@ -46,19 +60,76 @@ func main() {
 	if flag.NArg() != 1 {
 		log.Fatal("usage: stat4-replay [flags] trace.pcap  (or -record out.pcap)")
 	}
-	if *configPath != "" {
-		if err := replayWithConfig(flag.Arg(0), *configPath); err != nil {
+	var rm *replayMetrics
+	if *metrics || *metricsOut != "" {
+		rm = newReplayMetrics()
+	}
+	run := func() error {
+		if *configPath != "" {
+			return replayWithConfig(flag.Arg(0), *configPath, rm)
+		}
+		base, err := parseAddr(*basePrefix)
+		if err != nil {
+			return err
+		}
+		return replay(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, rm)
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	if rm != nil {
+		if err := rm.emit(*metrics, *metricsOut); err != nil {
 			log.Fatal(err)
 		}
-		return
 	}
-	base, err := parseAddr(*basePrefix)
-	if err != nil {
-		log.Fatal(err)
+}
+
+// replayMetrics is the telemetry wiring of one replay: the switch observer
+// plus a registry exposing it next to the switch's global counters.
+type replayMetrics struct {
+	sw  *telemetry.SwitchMetrics
+	reg *telemetry.Registry
+}
+
+// newReplayMetrics builds the bundle; the switch counters are registered
+// lazily by attach once the switch exists.
+func newReplayMetrics() *replayMetrics {
+	rm := &replayMetrics{sw: telemetry.NewSwitchMetrics(0), reg: telemetry.NewRegistry("stat4_replay")}
+	rm.reg.RegisterHist("packet_cost_ns", "per-packet processing cost (parse+execute+deparse)", rm.sw.Cost)
+	rm.reg.RegisterHist("digest_latency_ns", "digest emit-to-drain wall-clock latency", rm.sw.DigestWait)
+	rm.reg.RegisterCounter("digests_emitted", "digests accepted by the channel", rm.sw.Emitted)
+	rm.reg.RegisterCounter("digests_dropped", "digests lost to a full channel", rm.sw.Dropped)
+	rm.reg.RegisterCounter("digests_delivered", "digests drained by the replay loop", rm.sw.Delivered)
+	return rm
+}
+
+// attach installs the observer and exposes the switch's global counters.
+func (rm *replayMetrics) attach(sw *p4.Switch) {
+	sw.SetObserver(rm.sw)
+	rm.reg.RegisterCounter("pkts_in", "frames handed to the pipeline", func() uint64 { return sw.Stats().PktsIn })
+	rm.reg.RegisterCounter("pkts_out", "frames emitted by the pipeline", func() uint64 { return sw.Stats().PktsOut })
+	rm.reg.RegisterCounter("parse_errors", "frames rejected by the parser", func() uint64 { return sw.Stats().ParseErrors })
+}
+
+// emit renders the exposition and/or JSON snapshot as requested.
+func (rm *replayMetrics) emit(prom bool, jsonPath string) error {
+	if prom {
+		if err := rm.reg.WriteProm(os.Stdout); err != nil {
+			return err
+		}
 	}
-	if err := replay(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8); err != nil {
-		log.Fatal(err)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rm.reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
+	return nil
 }
 
 func recordTrace(path string, seconds float64) error {
@@ -100,7 +171,7 @@ func parseAddr(s string) (packet.IP4, error) {
 }
 
 // replayWithConfig instantiates a declarative app and replays through it.
-func replayWithConfig(tracePath, configPath string) error {
+func replayWithConfig(tracePath, configPath string, rm *replayMetrics) error {
 	cf, err := os.Open(configPath)
 	if err != nil {
 		return err
@@ -115,10 +186,10 @@ func replayWithConfig(tracePath, configPath string) error {
 		return err
 	}
 	fmt.Printf("applied %s: %d bindings, %d routes\n", configPath, len(ids), len(cfg.Routes))
-	return replayThrough(tracePath, rt, "config")
+	return replayThrough(tracePath, rt, "config", rm)
 }
 
-func replay(path, track string, shift uint, window int, k, dst24Base uint64) error {
+func replay(path, track string, shift uint, window int, k, dst24Base uint64, rm *replayMetrics) error {
 	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
@@ -139,7 +210,7 @@ func replay(path, track string, shift uint, window int, k, dst24Base uint64) err
 	if err != nil {
 		return err
 	}
-	return replayThrough(path, rt, track)
+	return replayThrough(path, rt, track, rm)
 }
 
 // replayBatchSize bounds how many capture frames are handed to the switch
@@ -149,7 +220,7 @@ const replayBatchSize = 256
 
 // replayThrough streams the capture into a prepared runtime in batches and
 // reports.
-func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
+func replayThrough(path string, rt *stat4p4.Runtime, track string, rm *replayMetrics) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -157,6 +228,9 @@ func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
 	defer f.Close()
 
 	sw := rt.Switch()
+	if rm != nil {
+		rm.attach(sw)
+	}
 	r := packet.NewPcapReader(f)
 	frames := 0
 	var firstTs, lastTs uint64
@@ -166,6 +240,9 @@ func replayThrough(path string, rt *stat4p4.Runtime, track string) error {
 			select {
 			case d := <-sw.Digests():
 				alerts = append(alerts, d)
+				if rm != nil {
+					rm.sw.DigestDelivered()
+				}
 				continue
 			default:
 			}

@@ -14,6 +14,7 @@
 //	internal/packet    Ethernet/IPv4/TCP/UDP + echo header
 //	internal/traffic   seeded workload generators
 //	internal/netem     discrete-event network simulator
+//	internal/telemetry integer-only observability built on the core statistics
 //	internal/controller the case-study drill-down controller
 //	internal/sketch    the pull-based (Figure 1b) baseline
 //	internal/experiments harnesses regenerating every table and figure

@@ -12,6 +12,7 @@ import (
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
+	"stat4/internal/telemetry"
 )
 
 // Scheduler is the slice of the event loop the controller needs: reading
@@ -87,7 +88,17 @@ type Config struct {
 	// remotely-triggered blackhole. The route install pays CtrlDelay like
 	// every other control-plane action.
 	Mitigate bool
+
+	// Timeline, when set, records every phase transition as (virtual ns,
+	// code): the Phase value entered, or TimelineMitigated when the
+	// blackhole takes effect. It is the integer twin of the human-readable
+	// Log, exposed through the telemetry snapshot.
+	Timeline *telemetry.Timeline
 }
+
+// TimelineMitigated is the Timeline code recorded when mitigation takes
+// effect (phase transitions record the Phase value itself).
+const TimelineMitigated = 100
 
 // Result is what the drill-down produced, with controller-side timestamps.
 type Result struct {
@@ -139,6 +150,13 @@ func (d *DrillDown) logf(format string, args ...any) {
 	d.Log = append(d.Log, fmt.Sprintf("[%10dns] %s", d.cfg.Sched.Now(), fmt.Sprintf(format, args...)))
 }
 
+// mark records a timeline code at the current virtual time.
+func (d *DrillDown) mark(code uint64) {
+	if d.cfg.Timeline != nil {
+		d.cfg.Timeline.Record(d.cfg.Sched.Now(), code)
+	}
+}
+
 // HandleDigest advances the drill-down state machine on each switch alert.
 func (d *DrillDown) HandleDigest(now uint64, dg p4.Digest) {
 	if dg.ID != stat4p4.DigestAnomaly || len(dg.Values) < 5 {
@@ -157,6 +175,7 @@ func (d *DrillDown) HandleDigest(now uint64, dg p4.Digest) {
 		d.res.DetectedSwitchTs = dg.Values[4]
 		d.res.DetectedAt = now
 		d.phase = PhaseLocateSubnet
+		d.mark(uint64(PhaseLocateSubnet))
 		d.logf("traffic-spike alert: interval value %d > threshold %d; installing per-/%d counting",
 			dg.Values[1], dg.Values[3], d.cfg.SubnetBits)
 		d.installSubnetBinding()
@@ -170,6 +189,7 @@ func (d *DrillDown) HandleDigest(now uint64, dg p4.Digest) {
 		d.res.Subnet = packet.NewPrefix(subnetAddr, d.cfg.SubnetBits)
 		d.res.SubnetAt = now
 		d.phase = PhaseLocateHost
+		d.mark(uint64(PhaseLocateHost))
 		d.logf("traffic-imbalance alert: hot subnet %s; refining to per-destination counting", d.res.Subnet)
 		d.installHostBinding()
 
@@ -181,6 +201,7 @@ func (d *DrillDown) HandleDigest(now uint64, dg p4.Digest) {
 		d.res.Host = packet.IP4(d.hostBase + idx)
 		d.res.HostAt = now
 		d.phase = PhaseDone
+		d.mark(uint64(PhaseDone))
 		d.logf("destination pinpointed: %s", d.res.Host)
 		if d.cfg.Mitigate {
 			host := d.res.Host
@@ -190,6 +211,7 @@ func (d *DrillDown) HandleDigest(now uint64, dg p4.Digest) {
 					return
 				}
 				d.res.MitigatedAt = d.cfg.Sched.Now()
+				d.mark(TimelineMitigated)
 				d.logf("mitigation active: traffic to %s blackholed", host)
 			})
 		}

@@ -270,3 +270,58 @@ func TestSettleReachesExactMedian(t *testing.T) {
 		t.Fatal("balanced marker moved")
 	}
 }
+
+// TestMedianBurstRecovery pins the one-step-per-packet lag bound the
+// telemetry layer leans on: after a burst of N identical values far from the
+// marker, the marker has moved at most N slots toward them (one per packet),
+// and N further quiet Step calls are enough to finish the walk. Reset must
+// restore the marker to its pristine state so a reused histogram re-seeds at
+// the first value of the next stream.
+func TestMedianBurstRecovery(t *testing.T) {
+	const (
+		start = uint64(10)
+		dest  = uint64(100)
+		burst = 50
+	)
+	d := NewFreqDist(256)
+	med := d.TrackMedian()
+	if err := d.Observe(start); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < burst; i++ {
+		if err := d.Observe(dest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One move per packet at most: the marker lags, it never jumps.
+	if got := med.Value(); got > start+burst {
+		t.Fatalf("marker at %d after %d-packet burst from %d: moved more than one slot per packet", got, burst, start)
+	}
+	if med.Moves() > burst {
+		t.Fatalf("Moves = %d after %d observations past the init", med.Moves(), burst)
+	}
+	// Quiet packets (Step without a value) finish the convergence: the
+	// remaining walk is at most burst slots long.
+	for i := 0; i < burst; i++ {
+		d.Step()
+	}
+	if med.Value() != dest {
+		t.Fatalf("marker at %d after %d quiet steps, want %d", med.Value(), burst, dest)
+	}
+	if med.LowCount() > 1 || med.HighCount() != 0 {
+		t.Fatalf("counts low=%d high=%d at the converged marker", med.LowCount(), med.HighCount())
+	}
+
+	// Reset restores the pristine marker...
+	d.Reset()
+	if med.Initialized() || med.Value() != 0 || med.LowCount() != 0 || med.HighCount() != 0 || med.Moves() != 0 {
+		t.Fatalf("Reset left marker state: %+v", med)
+	}
+	// ...and the next stream re-seeds at its first value.
+	if err := d.Observe(7); err != nil {
+		t.Fatal(err)
+	}
+	if !med.Initialized() || med.Value() != 7 {
+		t.Fatalf("marker did not re-seed after Reset: inited=%v value=%d", med.Initialized(), med.Value())
+	}
+}

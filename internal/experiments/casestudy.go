@@ -12,6 +12,7 @@ import (
 	"stat4/internal/netem"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
+	"stat4/internal/telemetry"
 	"stat4/internal/traffic"
 )
 
@@ -36,6 +37,13 @@ type CaseStudyParams struct {
 	CtrlDelay uint64
 	// Seed randomises the spike onset and target.
 	Seed int64
+
+	// Telemetry, when set, instruments the whole pipeline: the switch
+	// observer (per-packet cost, digest emit/drop), the netem node
+	// observables (control-channel latency, digest-queue occupancy), the
+	// simulator's event-queue depth and the controller's phase timeline.
+	// Recorders accumulate across runs when the same bundle is reused.
+	Telemetry *telemetry.Pipeline
 }
 
 func (p *CaseStudyParams) defaults() {
@@ -115,6 +123,13 @@ func CaseStudy(params CaseStudyParams) (CaseStudyResult, error) {
 
 	sim := netem.NewSim()
 	node := netem.NewSwitchNode(sim, rt.Switch(), params.CtrlDelay)
+	var timeline *telemetry.Timeline
+	if params.Telemetry != nil {
+		rt.Switch().SetObserver(params.Telemetry.Switch)
+		node.Metrics = params.Telemetry.Node
+		sim.Depth = params.Telemetry.Queue
+		timeline = params.Telemetry.Phases
+	}
 	dd := controller.NewDrillDown(controller.Config{
 		RT:            rt,
 		Sched:         sim,
@@ -128,6 +143,7 @@ func CaseStudy(params CaseStudyParams) (CaseStudyResult, error) {
 		K:             2,
 		Warmup:        20 * intervalNs,
 		MonitorWarmup: fill,
+		Timeline:      timeline,
 	})
 	node.OnDigest = dd.HandleDigest
 

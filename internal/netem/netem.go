@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"stat4/internal/p4"
+	"stat4/internal/telemetry"
 	"stat4/internal/traffic"
 )
 
@@ -14,6 +15,10 @@ type Sim struct {
 	seq   uint64
 	queue eventQueue
 	steps uint64
+
+	// Depth, when set, records the event-queue occupancy after each
+	// dispatched event — the simulator's own backlog observable.
+	Depth *telemetry.Hist
 }
 
 type event struct {
@@ -61,8 +66,15 @@ func (s *Sim) After(d uint64, fn func()) { s.At(s.now+d, fn) }
 func (s *Sim) Run() { s.RunUntil(^uint64(0)) }
 
 // RunUntil processes events with timestamps ≤ deadline and advances the
-// clock to the deadline (or the last event, whichever is later).
+// clock to the deadline (or the last event, whichever is later). The clock
+// is monotone across calls: a deadline earlier than the current time is
+// clamped to it, so a re-entrant RunUntil(earlier) degenerates to "run
+// whatever is due right now" instead of rewinding or losing events that At
+// already clamped to the present.
 func (s *Sim) RunUntil(deadline uint64) {
+	if deadline < s.now {
+		deadline = s.now
+	}
 	for len(s.queue) > 0 {
 		if s.queue[0].at > deadline {
 			break
@@ -70,6 +82,9 @@ func (s *Sim) RunUntil(deadline uint64) {
 		e := heap.Pop(&s.queue).(event)
 		s.now = e.at
 		s.steps++
+		if s.Depth != nil {
+			s.Depth.Observe(uint64(len(s.queue)))
+		}
 		e.fn()
 	}
 	if deadline != ^uint64(0) && s.now < deadline {
@@ -81,16 +96,32 @@ func (s *Sim) RunUntil(deadline uint64) {
 // processed at their timestamps, output frames are delivered to connected
 // ports after their link delay, and digests reach the controller handler
 // after the control-channel delay — the push arrow of Figure 1c.
+//
+// Attach-handler-before-inject contract: digests are drained from the switch
+// after every processed packet, so OnDigest (and any Connect receivers) must
+// be in place before the first Inject/InjectFrame/InjectStream call. Digests
+// drained while OnDigest is nil are dropped — counted by DroppedDigests and
+// the telemetry snapshot, never silently — and frames emitted on ports with
+// no connected link are likewise counted by UnroutedFrames.
 type SwitchNode struct {
 	Sim *Sim
 	SW  *p4.Switch
 
 	// CtrlDelay is the one-way switch→controller latency.
 	CtrlDelay uint64
-	// OnDigest receives each digest at its controller arrival time.
+	// OnDigest receives each digest at its controller arrival time. Set it
+	// before injecting traffic (see the contract above).
 	OnDigest func(now uint64, d p4.Digest)
 
+	// Metrics, when set, records the node's channel observables: frame
+	// inject→deliver latency, digest control-channel latency, digest-queue
+	// occupancy at drain, and the drop counters.
+	Metrics *telemetry.NodeMetrics
+
 	ports map[uint16]portLink
+
+	droppedDigests uint64
+	unroutedFrames uint64
 }
 
 type portLink struct {
@@ -108,6 +139,15 @@ func NewSwitchNode(sim *Sim, sw *p4.Switch, ctrlDelay uint64) *SwitchNode {
 func (n *SwitchNode) Connect(port uint16, delay uint64, deliver func(now uint64, data []byte)) {
 	n.ports[port] = portLink{delay: delay, deliver: deliver}
 }
+
+// DroppedDigests returns how many digests were drained while no OnDigest
+// handler was attached. A nonzero value almost always means a handler was
+// attached after traffic had already been injected.
+func (n *SwitchNode) DroppedDigests() uint64 { return n.droppedDigests }
+
+// UnroutedFrames returns how many output frames were discarded because
+// their egress port had no connected link.
+func (n *SwitchNode) UnroutedFrames() uint64 { return n.unroutedFrames }
 
 // Inject schedules one packet for processing at ts on the given ingress
 // port.
@@ -127,15 +167,28 @@ func (n *SwitchNode) InjectFrame(port uint16, data []byte) {
 // route delivers switch outputs over connected links and forwards digests.
 func (n *SwitchNode) route(outs []p4.FrameOut) {
 	n.drainDigests()
+	processedAt := n.Sim.Now()
 	for _, out := range outs {
 		link, ok := n.ports[out.Port]
 		if !ok {
+			n.unroutedFrames++
+			if n.Metrics != nil {
+				n.Metrics.UnroutedFrames.Inc()
+			}
 			continue
 		}
 		// Copy: out.Data aliases the switch's deparse buffer, which is
 		// reused on the next frame, while delivery happens link.delay later.
+		// Instrumentation hooks obey the same lifetime rule: anything they
+		// want from the frame must be recorded before this handler returns.
 		data := append([]byte(nil), out.Data...)
-		n.Sim.After(link.delay, func() { link.deliver(n.Sim.Now(), data) })
+		n.Sim.After(link.delay, func() {
+			now := n.Sim.Now()
+			if n.Metrics != nil {
+				n.Metrics.FrameLatency.Observe(now - processedAt)
+			}
+			link.deliver(now, data)
+		})
 	}
 }
 
@@ -158,15 +211,31 @@ func (n *SwitchNode) InjectStream(st traffic.Stream, port uint16) {
 }
 
 // drainDigests moves digests produced by the last packet onto the simulated
-// control channel.
+// control channel. Digests drained with no handler attached are counted,
+// not silently discarded (see the SwitchNode contract).
 func (n *SwitchNode) drainDigests() {
 	for {
 		select {
 		case d := <-n.SW.Digests():
-			if n.OnDigest != nil {
-				dg := d
-				n.Sim.After(n.CtrlDelay, func() { n.OnDigest(n.Sim.Now(), dg) })
+			if n.OnDigest == nil {
+				n.droppedDigests++
+				if n.Metrics != nil {
+					n.Metrics.DroppedDigests.Inc()
+				}
+				continue
 			}
+			if n.Metrics != nil {
+				n.Metrics.DigestQueue.Observe(uint64(len(n.SW.Digests())))
+			}
+			dg := d
+			drainedAt := n.Sim.Now()
+			n.Sim.After(n.CtrlDelay, func() {
+				now := n.Sim.Now()
+				if n.Metrics != nil {
+					n.Metrics.CtrlLatency.Observe(now - drainedAt)
+				}
+				n.OnDigest(now, dg)
+			})
 		default:
 			return
 		}

@@ -298,11 +298,7 @@ func (sw *Switch) execCop(ctx *Ctx, op *cop) {
 		for i, f := range op.fields {
 			d.Values[i] = ctx.fields[f]
 		}
-		select {
-		case sw.digests <- d:
-		default:
-			sw.ctr.digestDrops.Add(1)
-		}
+		sw.sendDigest(d)
 	case OpSetEgress:
 		ctx.fields[sw.std.Egress] = sw.resolve(ctx, op.a) & sw.fieldMask[sw.std.Egress]
 	case OpDrop:

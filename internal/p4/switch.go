@@ -3,6 +3,7 @@ package p4
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"stat4/internal/packet"
 )
@@ -118,6 +119,20 @@ type switchCounters struct {
 	digestDrops atomic.Uint64
 }
 
+// Observer receives data-plane instrumentation events. Implementations must
+// be allocation-free and cheap — they run on the per-packet hot path — and
+// are called from the data-plane goroutine only. telemetry.SwitchMetrics is
+// the canonical implementation; its recording path is integer-only and
+// passes the same stat4-lint gate as the datapath it measures.
+type Observer interface {
+	// PacketCost reports one Process* call's wall-clock cost in nanoseconds.
+	PacketCost(ns uint64)
+	// DigestEmitted reports a digest accepted by the channel.
+	DigestEmitted()
+	// DigestDropped reports a digest lost to a full channel.
+	DigestDropped()
+}
+
 // ExecMode selects which interpreter the data plane runs.
 type ExecMode uint8
 
@@ -151,6 +166,7 @@ type Switch struct {
 	fieldMask []uint64
 
 	ctr switchCounters
+	obs Observer
 
 	// Per-packet scratch, reused across packets since the data plane is
 	// single-threaded (like a pipeline's PHV): the execution context, the
@@ -197,6 +213,12 @@ func (sw *Switch) SetDeparser(d Deparser) { sw.deparser = d }
 // SetExecMode selects the interpreter. Call it before processing traffic;
 // it is not synchronised with the data plane.
 func (sw *Switch) SetExecMode(m ExecMode) { sw.mode = m }
+
+// SetObserver attaches data-plane instrumentation (nil detaches). Like
+// SetExecMode it must be called before processing traffic; it is not
+// synchronised with the data plane. With no observer attached the hot path
+// pays exactly one nil check per packet.
+func (sw *Switch) SetObserver(o Observer) { sw.obs = o }
 
 // Digests returns the channel carrying data-plane alerts.
 func (sw *Switch) Digests() <-chan Digest { return sw.digests }
@@ -270,6 +292,20 @@ func (sw *Switch) Stats() Stats {
 // scratch and stay valid until the next Process* call.
 func (sw *Switch) ProcessFrame(tsNs uint64, inPort uint16, data []byte) []FrameOut {
 	sw.ctr.pktsIn.Add(1)
+	var start time.Time
+	if sw.obs != nil {
+		start = time.Now()
+	}
+	outs := sw.parseAndProcess(tsNs, inPort, data)
+	if sw.obs != nil {
+		sw.obs.PacketCost(uint64(time.Since(start)))
+	}
+	return outs
+}
+
+// parseAndProcess is ProcessFrame's body, split out so the observer timing
+// wraps parse + execute + deparse in one span.
+func (sw *Switch) parseAndProcess(tsNs uint64, inPort uint16, data []byte) []FrameOut {
 	if err := packet.ParseInto(&sw.pktScratch, data); err != nil {
 		sw.ctr.parseErrs.Add(1)
 		sw.ctr.dropped.Add(1)
@@ -283,7 +319,15 @@ func (sw *Switch) ProcessFrame(tsNs uint64, inPort uint16, data []byte) []FrameO
 // loops. The packet must not be mutated while the call runs.
 func (sw *Switch) ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
 	sw.ctr.pktsIn.Add(1)
-	return sw.processPacket(tsNs, inPort, pkt)
+	var start time.Time
+	if sw.obs != nil {
+		start = time.Now()
+	}
+	outs := sw.processPacket(tsNs, inPort, pkt)
+	if sw.obs != nil {
+		sw.obs.PacketCost(uint64(time.Since(start)))
+	}
+	return outs
 }
 
 // ProcessBatch runs a batch of frames through the pipeline in order, calling
@@ -482,14 +526,30 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 		for i, f := range op.Fields {
 			d.Values[i] = ctx.fields[f]
 		}
-		select {
-		case sw.digests <- d:
-		default:
-			sw.ctr.digestDrops.Add(1)
-		}
+		sw.sendDigest(d)
 	case OpSetEgress:
 		ctx.fields[sw.std.Egress] = sw.resolve(ctx, op.A) & sw.fieldMask[sw.std.Egress]
 	case OpDrop:
 		ctx.fields[sw.std.Drop] = 1
+	}
+}
+
+// sendDigest pushes an alert onto the bounded mailbox to the control plane,
+// counting (and reporting to the observer) the accept/drop outcome. Both
+// interpreters' OpDigest cases funnel through it so emit/drop accounting
+// cannot diverge between them.
+//
+//stat4:datapath
+func (sw *Switch) sendDigest(d Digest) {
+	select {
+	case sw.digests <- d:
+		if sw.obs != nil {
+			sw.obs.DigestEmitted()
+		}
+	default:
+		sw.ctr.digestDrops.Add(1)
+		if sw.obs != nil {
+			sw.obs.DigestDropped()
+		}
 	}
 }

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"testing"
+
+	"stat4/internal/intstat"
+)
+
+// TestBucketLowInvertsLog2Fixed pins the bucket geometry: for every sample v,
+// BucketLow(bucket(v)) ≤ v < BucketLow(bucket(v)+1), and no uint64 sample
+// falls outside the counter domain.
+func TestBucketLowInvertsLog2Fixed(t *testing.T) {
+	samples := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 100, 896, 1000, 1024, 1 << 20, 123456789, 1<<40 + 3, ^uint64(0)}
+	for _, v := range samples {
+		b := intstat.Log2Fixed(v, HistFracBits)
+		if b >= HistBuckets {
+			t.Fatalf("Log2Fixed(%d) = %d, outside [0,%d)", v, b, HistBuckets)
+		}
+		lo := BucketLow(b)
+		if lo > v {
+			t.Fatalf("BucketLow(%d) = %d > sample %d", b, lo, v)
+		}
+		// Below 2^HistFracBits the octaves are narrower than the sub-bucket
+		// fan-out, so neighbouring buckets collapse to the same lower bound
+		// (bucket 0 holds both 0 and 1); the strict upper bound only holds
+		// once every sub-bucket is at least one value wide.
+		if v >= 1<<HistFracBits && b+1 < HistBuckets {
+			if hi := BucketLow(b + 1); v >= hi {
+				t.Fatalf("sample %d in bucket %d but >= next bucket's low %d", v, b, hi)
+			}
+		}
+	}
+	// Exact powers of two are their own bucket lower bound (except 1, which
+	// shares bucket 0 with 0).
+	for e := uint64(1); e < 64; e++ {
+		v := uint64(1) << e
+		if got := BucketLow(intstat.Log2Fixed(v, HistFracBits)); got != v {
+			t.Fatalf("BucketLow(bucket(1<<%d)) = %d, want %d", e, got, v)
+		}
+	}
+}
+
+func TestHistCountSumMinMax(t *testing.T) {
+	h := NewHist()
+	if h.Min() != 0 {
+		t.Fatalf("empty Min = %d, want 0", h.Min())
+	}
+	for _, v := range []uint64{5, 100, 3, 42} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 150 || h.Min() != 3 || h.Max() != 100 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.P50() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	h.Observe(9)
+	if h.Min() != 9 || h.Max() != 9 || h.Count() != 1 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+// TestHistPercentiles drives the markers with a known distribution: a
+// constant stream puts both markers exactly on the value's bucket lower
+// bound, and the log-domain moments count every sample.
+func TestHistPercentiles(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 1000; i++ {
+		h.Observe(1024)
+	}
+	if h.P50() != 1024 || h.P99() != 1024 {
+		t.Fatalf("constant stream: P50=%d P99=%d, want 1024", h.P50(), h.P99())
+	}
+	m := h.LogMoments()
+	if m.N != 1000 {
+		t.Fatalf("log moments N = %d, want 1000", m.N)
+	}
+	// log2(1024) in HistFracBits fixed point, summed over every sample.
+	if want := uint64(1000) * (10 << HistFracBits); m.Sum != want {
+		t.Fatalf("log moments Sum = %d, want %d", m.Sum, want)
+	}
+	if m.StdDev() != 0 {
+		t.Fatalf("constant stream has log-domain sd %d, want 0", m.StdDev())
+	}
+}
+
+// TestHistP99SeparatesTail checks the two markers actually disagree on a
+// spread-out stream: linear-uniform samples over 1..N pile half their mass
+// into the top octave, so the median sits around N/2's bucket while the
+// 99th-percentile marker climbs into the top octave.
+func TestHistP99SeparatesTail(t *testing.T) {
+	h := NewHist()
+	const n = 10000
+	for pass := 0; pass < 3; pass++ { // repeat so both markers fully converge
+		for v := uint64(1); v <= n; v++ {
+			h.Observe(v)
+		}
+	}
+	if p50 := h.P50(); p50 < 1024 || p50 > 8192 {
+		t.Fatalf("P50 = %d, want around n/2's bucket", p50)
+	}
+	if h.P99() <= h.P50() {
+		t.Fatalf("P99 = %d did not separate from P50 = %d", h.P99(), h.P50())
+	}
+	if h.P99() < 8192 {
+		t.Fatalf("P99 = %d, want in the top octave (>= 8192)", h.P99())
+	}
+}

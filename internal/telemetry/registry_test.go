@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWritePromValidates(t *testing.T) {
+	reg := NewRegistry("stat4_x")
+	h := NewHist()
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i * 10)
+	}
+	reg.RegisterHist("lat_ns", "a latency", h)
+	var c Counter
+	c.Add(7)
+	reg.RegisterCounter("events", "an event count", c.Value)
+	tl := NewTimeline(4)
+	tl.Record(100, 1)
+	tl.Record(200, 3)
+	reg.RegisterTimeline("phase", "phase transitions", tl)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	n, err := ValidateExposition(out)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	// 10 hist series (2 quantiles, sum, count, min, max, 2 marker-move
+	// rates, log sd, sd recomputes) + 1 counter + 2 timeline entries.
+	if n != 13 {
+		t.Fatalf("sample count = %d, want 13:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"# TYPE stat4_x_lat_ns summary",
+		"stat4_x_lat_ns{quantile=\"0.99\"}",
+		"stat4_x_lat_ns_count 100",
+		"stat4_x_lat_ns_sum 50500",
+		"# TYPE stat4_x_events counter",
+		"stat4_x_events 7",
+		"stat4_x_phase{seq=\"1\",code=\"3\"} 200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry("stat4_x")
+	h := NewHist()
+	h.Observe(8)
+	h.Observe(16)
+	reg.RegisterHist("lat_ns", "a latency", h)
+	var c Counter
+	c.Inc()
+	reg.RegisterCounter("events", "an event count", c.Value)
+
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if s.Prefix != "stat4_x" || len(s.Hists) != 1 || len(s.Counters) != 1 {
+		t.Fatalf("snapshot shape wrong: %+v", s)
+	}
+	hs := s.Hists[0]
+	if hs.Name != "lat_ns" || hs.Count != 2 || hs.Sum != 24 || hs.Min != 8 || hs.Max != 16 {
+		t.Fatalf("hist snapshot wrong: %+v", hs)
+	}
+	if s.Counters[0].Value != 1 {
+		t.Fatalf("counter snapshot wrong: %+v", s.Counters[0])
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "has-dash", "has space", "quo\"te"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRegistry(%q) did not panic", bad)
+				}
+			}()
+			NewRegistry(bad)
+		}()
+	}
+	reg := NewRegistry("ok")
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterCounter with bad name did not panic")
+		}
+	}()
+	reg.RegisterCounter("bad-name", "", func() uint64 { return 0 })
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"float sample":      "foo 1.5\n",
+		"negative sample":   "foo -1\n",
+		"bad name":          "1foo 2\n",
+		"unterminated":      "foo{a=\"b\" 2\n",
+		"malformed label":   "foo{a=b} 2\n",
+		"missing value":     "foo\n",
+		"empty exposition":  "\n\n",
+		"comment-only data": "# HELP x y\n",
+	}
+	for what, data := range cases {
+		if _, err := ValidateExposition(data); err == nil {
+			t.Errorf("ValidateExposition accepted %s: %q", what, data)
+		}
+	}
+	if n, err := ValidateExposition("# HELP foo help\n# TYPE foo counter\nfoo 3\nbar{x=\"1\",y=\"2\"} 4\n"); err != nil || n != 2 {
+		t.Fatalf("valid exposition rejected: n=%d err=%v", n, err)
+	}
+}

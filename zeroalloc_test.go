@@ -2,6 +2,10 @@
 // scratch-reuse work, one packet through the switch must not allocate. These
 // pin the property so a future change that re-introduces a per-packet
 // allocation fails loudly rather than showing up as a benchmark regression.
+//
+// Every test runs with a telemetry observer attached: the observability layer
+// rides the per-packet path (cost histogram, digest emit stamps), so the
+// zero-alloc guarantee is pinned with recording enabled, not just without.
 package stat4
 
 import (
@@ -10,11 +14,20 @@ import (
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
+	"stat4/internal/telemetry"
 )
 
 // warmupPackets runs enough traffic to take every lazily-grown buffer (deparse
 // buffer, digest channel headroom) to steady state before measuring.
 const warmupPackets = 4096
+
+// attachTelemetry installs a fresh SwitchMetrics observer so the measured
+// path includes the telemetry recorders.
+func attachTelemetry(sw *p4.Switch) *telemetry.SwitchMetrics {
+	obs := telemetry.NewSwitchMetrics(0)
+	sw.SetObserver(obs)
+	return obs
+}
 
 func assertZeroAllocs(t *testing.T, name string, f func()) {
 	t.Helper()
@@ -32,6 +45,7 @@ func TestProcessPacketZeroAllocFreq(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := rt.Switch()
+	obs := attachTelemetry(sw)
 	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize())
 	ts := uint64(0)
 	for i := 0; i < warmupPackets; i++ {
@@ -42,6 +56,9 @@ func TestProcessPacketZeroAllocFreq(t *testing.T) {
 		ts++
 		sw.ProcessPacket(ts, 1, pkt)
 	})
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
+	}
 }
 
 func TestProcessPacketZeroAllocWindow(t *testing.T) {
@@ -53,6 +70,7 @@ func TestProcessPacketZeroAllocWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := rt.Switch()
+	obs := attachTelemetry(sw)
 	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize())
 	// Perfectly steady traffic: interval folds happen, anomaly digests don't.
 	ts := uint64(0)
@@ -64,6 +82,9 @@ func TestProcessPacketZeroAllocWindow(t *testing.T) {
 		ts += 10
 		sw.ProcessPacket(ts, 1, pkt)
 	})
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
+	}
 }
 
 func TestProcessPacketZeroAllocSparse(t *testing.T) {
@@ -75,6 +96,7 @@ func TestProcessPacketZeroAllocSparse(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := rt.Switch()
+	obs := attachTelemetry(sw)
 	pkt, _ := packet.Parse(packet.NewUDPFrame(1, packet.ParseIP4(203, 0, 113, 9), 5, 80, 10).Serialize())
 	ts := uint64(0)
 	for i := 0; i < warmupPackets; i++ {
@@ -85,6 +107,9 @@ func TestProcessPacketZeroAllocSparse(t *testing.T) {
 		ts++
 		sw.ProcessPacket(ts, 1, pkt)
 	})
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
+	}
 }
 
 // TestProcessFrameZeroAllocEcho covers the full frame path — parse into the
@@ -99,6 +124,7 @@ func TestProcessFrameZeroAllocEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := rt.Switch()
+	obs := attachTelemetry(sw)
 	frame := packet.NewEchoFrame(packet.MAC{1}, packet.MAC{2}, 42).Serialize()
 	ts := uint64(0)
 	for i := 0; i < warmupPackets; i++ {
@@ -111,6 +137,9 @@ func TestProcessFrameZeroAllocEcho(t *testing.T) {
 		ts++
 		sw.ProcessFrame(ts, 1, frame)
 	})
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
+	}
 }
 
 // TestProcessBatchZeroAlloc pins the batch entry point: the loop and emit
@@ -124,6 +153,7 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	sw := rt.Switch()
+	obs := attachTelemetry(sw)
 	frame := packet.NewUDPFrame(1, packet.IP4(200), 5, 80, 10).Serialize()
 	batch := make([]p4.FrameIn, 64)
 	ts := uint64(0)
@@ -139,5 +169,8 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 	})
 	if seen == 0 {
 		t.Fatal("emit never called")
+	}
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
 	}
 }
