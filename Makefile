@@ -37,7 +37,7 @@ lint:
 # the JSON; raise BENCHCOUNT for lower-variance numbers.
 BENCHN ?= 1
 BENCHCOUNT ?= 1
-BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch)
+BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch|Sharded)
 bench:
 	$(GO) test -run=^$$ -bench '$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_latest.txt
 	$(GO) run ./cmd/stat4-bench $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_$(BENCHN).json bench_latest.txt
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSqrtApprox -fuzztime=$(FUZZTIME) ./internal/intstat/
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -run=^$$ -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/stat4p4/
+	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) ./internal/p4/
 
 # metrics-smoke replays a small synthetic capture with telemetry attached and
 # asserts the Prometheus-style exposition parses (integer-only, quantiles from

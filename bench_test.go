@@ -6,6 +6,7 @@
 package stat4
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -444,5 +445,105 @@ func BenchmarkSwitchSparseUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.ProcessPacket(uint64(i), 1, pkt)
+	}
+}
+
+// --- sharded datapath ---------------------------------------------------------
+
+// shardedBenchBatch builds a fixed batch of UDP frames spread over many
+// 5-tuples, so the flow-hash dispatcher has real spreading work.
+func shardedBenchBatch(n int) []p4.FrameIn {
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]p4.FrameIn, n)
+	for i := range batch {
+		src := packet.ParseIP4(192, 168, byte(rng.Intn(8)), byte(rng.Intn(250)))
+		dst := packet.ParseIP4(10, 0, 0, byte(rng.Intn(200)))
+		frame := packet.NewUDPFrame(src, dst, uint16(1024+rng.Intn(4096)), 80, 10).Serialize()
+		batch[i] = p4.FrameIn{TsNs: uint64(i), Port: 1, Data: frame}
+	}
+	return batch
+}
+
+func newShardedBench(b *testing.B, shards int) *stat4p4.ShardedRuntime {
+	b.Helper()
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	sr, err := stat4p4.NewShardedRuntime(lib, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sr.Close)
+	if _, err := sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 0, 0, 256, 1, 1, 0); err != nil {
+		b.Fatal(err)
+	}
+	return sr
+}
+
+// BenchmarkShardedProcessBatch measures the dispatcher's concurrent fan-out:
+// partition by flow hash, run every shard's partition on its worker, reduce
+// outputs in shard order. On a single-core host the shards time-slice, so
+// this bench shows the dispatch overhead rather than a speedup — see
+// BenchmarkShardedCriticalPath for the multi-pipeline wall-clock model.
+func BenchmarkShardedProcessBatch(b *testing.B) {
+	batch := shardedBenchBatch(4096)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sr := newShardedBench(b, shards)
+			ss := sr.Sharded()
+			ss.ProcessBatch(batch, nil) // take lazily-grown buffers to steady state
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ss.ProcessBatch(batch, nil)
+			}
+			b.ReportMetric(float64(len(batch)), "pkts/op")
+		})
+	}
+}
+
+// BenchmarkShardedCriticalPath times only the busiest shard's partition run
+// serially — the wall clock of one batch on a chassis where every shard is
+// its own pipeline, which is what sharding buys on real multi-core/multi-pipe
+// hardware. With a balanced flow hash the busiest partition is ≈ batch/N, so
+// ns/op shrinks near-linearly in the shard count.
+func BenchmarkShardedCriticalPath(b *testing.B) {
+	batch := shardedBenchBatch(4096)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sr := newShardedBench(b, shards)
+			ss := sr.Sharded()
+			parts := make([][]p4.FrameIn, shards)
+			for _, fr := range batch {
+				s := ss.ShardOf(fr.Data)
+				parts[s] = append(parts[s], fr)
+			}
+			critical := parts[0]
+			for _, p := range parts[1:] {
+				if len(p) > len(critical) {
+					critical = p
+				}
+			}
+			sw := ss.Shard(0)
+			sw.ProcessBatch(critical, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessBatch(critical, nil)
+			}
+			b.ReportMetric(float64(len(critical)), "critical-pkts/op")
+		})
+	}
+}
+
+// BenchmarkShardScale runs one shard-sweep row (4 shards, short workload)
+// per iteration: replay, merge, canonical-equivalence check.
+func BenchmarkShardScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ShardScale(experiments.ShardScaleParams{
+			DurationNs: 2e5, ShardCounts: []int{4}, Seed: int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[0].Equivalent {
+			b.Fatal("merged snapshot diverged from serial")
+		}
 	}
 }

@@ -38,6 +38,7 @@ func main() {
 	k := flag.Uint64("k", 2, "sigma multiplier for the anomaly check (0 disables for freq modes)")
 	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
 	configPath := flag.String("config", "", "JSON app config (overrides -track and friends)")
+	shards := flag.Int("shards", 1, "replicate the datapath over N flow-hash shards (RSS-style dispatch)")
 	metrics := flag.Bool("metrics", false, "print the telemetry exposition after the replay")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the replay")
@@ -59,6 +60,28 @@ func main() {
 	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: stat4-replay [flags] trace.pcap  (or -record out.pcap)")
+	}
+	if *shards < 1 {
+		log.Fatal("-shards must be at least 1")
+	}
+	if *shards > 1 {
+		if *configPath != "" {
+			log.Fatal("-shards is not supported with -config (bindings come from the track flags)")
+		}
+		base, err := parseAddr(*basePrefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sm := newShardedMetrics(*shards, *metrics || *metricsOut != "")
+		if err := replaySharded(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, *shards, sm); err != nil {
+			log.Fatal(err)
+		}
+		if sm != nil {
+			if err := sm.emit(*metrics, *metricsOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 	var rm *replayMetrics
 	if *metrics || *metricsOut != "" {
@@ -82,6 +105,59 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// shardedMetrics is the telemetry wiring of a sharded replay: one switch
+// observer per shard (single-writer on its shard's worker goroutine), the
+// merged fleet view, and the fleet counters — the per-shard + merged split
+// in one registry.
+type shardedMetrics struct {
+	sp  *telemetry.ShardedPipeline
+	reg *telemetry.Registry
+}
+
+// newShardedMetrics returns nil when metrics are off.
+func newShardedMetrics(shards int, enabled bool) *shardedMetrics {
+	if !enabled {
+		return nil
+	}
+	return &shardedMetrics{
+		sp:  telemetry.NewShardedPipeline(shards),
+		reg: telemetry.NewRegistry("stat4_replay"),
+	}
+}
+
+// attach installs one observer per shard and exposes the fleet counters.
+func (sm *shardedMetrics) attach(ss *p4.ShardedSwitch) {
+	for i := 0; i < ss.NumShards(); i++ {
+		ss.Shard(i).SetObserver(sm.sp.Shards[i])
+	}
+	sm.sp.Register(sm.reg)
+	sm.reg.RegisterCounter("pkts_in", "frames handed to the pipelines", func() uint64 { return ss.Stats().PktsIn })
+	sm.reg.RegisterCounter("pkts_out", "frames emitted by the pipelines", func() uint64 { return ss.Stats().PktsOut })
+	sm.reg.RegisterCounter("parse_errors", "frames rejected by the parsers", func() uint64 { return ss.Stats().ParseErrors })
+}
+
+// emit refreshes the merged view and renders as requested.
+func (sm *shardedMetrics) emit(prom bool, jsonPath string) error {
+	sm.sp.Refresh()
+	if prom {
+		if err := sm.reg.WriteProm(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := sm.reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // replayMetrics is the telemetry wiring of one replay: the switch observer
@@ -211,6 +287,128 @@ func replay(path, track string, shift uint, window int, k, dst24Base uint64, rm 
 		return err
 	}
 	return replayThrough(path, rt, track, rm)
+}
+
+// replaySharded replays the capture through an N-shard deployment: the
+// flow-hash dispatcher partitions each batch, shards run concurrently, and
+// the end-of-run measures are read from the merged canonical view — the same
+// numbers a serial replay of the capture prints.
+func replaySharded(path, track string, shift uint, window int, k, dst24Base uint64, shards int, sm *shardedMetrics) error {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	sr, err := stat4p4.NewShardedRuntime(lib, shards)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	switch track {
+	case "window":
+		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
+	case "dst24":
+		_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
+	case "proto":
+		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
+	case "len":
+		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
+	default:
+		return fmt.Errorf("unknown -track %q", track)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ss := sr.Sharded()
+	if sm != nil {
+		sm.attach(ss)
+	}
+	r := packet.NewPcapReader(f)
+	frames := 0
+	var firstTs, lastTs uint64
+	var alerts []p4.Digest
+	drain := func() {
+		for {
+			select {
+			case d := <-ss.Digests():
+				alerts = append(alerts, d)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	// The batch buffer is copied per frame: the pcap reader reuses its frame
+	// buffer, while the shards consume the batch concurrently at flush.
+	batch := make([]p4.FrameIn, 0, replayBatchSize)
+	flush := func() {
+		ss.ProcessBatch(batch, nil)
+		drain()
+		batch = batch[:0]
+	}
+	for {
+		ts, frame, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if frames == 0 {
+			firstTs = ts
+		}
+		lastTs = ts
+		batch = append(batch, p4.FrameIn{TsNs: ts, Port: 1, Data: append([]byte(nil), frame...)})
+		if len(batch) == replayBatchSize {
+			flush()
+		}
+		frames++
+	}
+	flush()
+
+	st := ss.Stats()
+	fmt.Printf("replayed %d frames spanning %.3fs (%d parse errors) over %d shards\n",
+		frames, float64(lastTs-firstTs)/1e9, st.ParseErrors, shards)
+	var maxShard uint64
+	for i := 0; i < shards; i++ {
+		in := ss.Shard(i).Stats().PktsIn
+		if in > maxShard {
+			maxShard = in
+		}
+		fmt.Printf("  shard %d: %d frames\n", i, in)
+	}
+	if maxShard > 0 {
+		fmt.Printf("modeled multi-pipeline speedup: %.2fx (total/busiest shard)\n",
+			float64(st.PktsIn)/float64(maxShard))
+	}
+	if track == "window" {
+		// Windows are clock-driven per shard; the merged scalar view applies
+		// to frequency modes, so report the per-shard moments instead.
+		for i := 0; i < shards; i++ {
+			m, _ := sr.ShardRuntime(i).ReadMoments(0)
+			fmt.Printf("  shard %d window: N=%d Xsum=%d var=%d sd=%d\n", i, m.N, m.Xsum, m.Var, m.SD)
+		}
+	} else {
+		m, err := sr.MergedMoments(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracked %q (merged): N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
+			track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
+	}
+	fmt.Printf("%d anomaly alerts\n", len(alerts))
+	for i, d := range alerts {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(alerts)-10)
+			break
+		}
+		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
+			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+	}
+	return nil
 }
 
 // replayBatchSize bounds how many capture frames are handed to the switch

@@ -5,11 +5,19 @@
 // needs — a P4-style switch simulator, a packet model, traffic generators, a
 // discrete-event network, a drill-down controller and a sketch-only baseline.
 //
+// The datapath also scales out: p4.ShardedSwitch replicates a compiled
+// program over N flow-hash shards (RSS-style, same 5-tuple → same shard) and
+// the statistics merge losslessly — counter registers add, derived scalars
+// are recomputed from the merged counters — so a sharded deployment's merged
+// snapshot is byte-identical to a serial switch that saw the same stream.
+// The property/differential suites in internal/core, internal/p4,
+// internal/stat4p4 and internal/netem pin that equivalence.
+//
 // Layout:
 //
 //	internal/intstat   integer primitives (Figure 2 sqrt, MSB, shift-multiply)
 //	internal/core      the Stat4 reference library (moments, percentiles, windows)
-//	internal/p4        the P4-style switch simulator and static analyzer
+//	internal/p4        the P4-style switch simulator, sharded dispatcher and static analyzer
 //	internal/stat4p4   the Stat4 → P4 emitter, runtime API and echo app
 //	internal/packet    Ethernet/IPv4/TCP/UDP + echo header
 //	internal/traffic   seeded workload generators

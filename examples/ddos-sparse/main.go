@@ -7,23 +7,27 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
+	"os"
 
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
 )
 
-func main() {
+// run replays `rounds` balanced rounds over 60 scattered destinations and
+// then `attackPkts` packets at one victim; main uses the full trace, the
+// smoke test a short one.
+func run(w io.Writer, rounds, attackPkts int) error {
 	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1, Sparse: true, DigestBuf: 4096})
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Full /32 keys (shift 0), imbalance check at 2 sigma.
 	if _, err := rt.BindSparseDst(0, 0, stat4p4.AllIPv4(), 0, 2); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sw := rt.Switch()
 
@@ -41,7 +45,7 @@ func main() {
 
 	// Normal operation: balanced traffic.
 	var ts uint64
-	for round := 0; round < 200; round++ {
+	for round := 0; round < rounds; round++ {
 		for _, d := range dests {
 			send(d, ts)
 			ts++
@@ -52,14 +56,14 @@ func main() {
 		<-sw.Digests()
 	}
 	attackStart := ts
-	for i := 0; i < 3000; i++ {
+	for i := 0; i < attackPkts; i++ {
 		send(victim, ts)
 		ts++
 	}
 
 	m, _ := rt.ReadMoments(0)
 	rej, _ := rt.SparseRejected(0)
-	fmt.Printf("tracked %d destinations of a 2^32 domain in %d buckets (%d rejected observations)\n",
+	fmt.Fprintf(w, "tracked %d destinations of a 2^32 domain in %d buckets (%d rejected observations)\n",
 		m.N, lib.Opts.Size, rej)
 
 	var first *p4.Digest
@@ -75,11 +79,19 @@ func main() {
 		}
 	}
 	if first == nil {
-		fmt.Println("attack not detected — something is wrong")
-		return
+		fmt.Fprintln(w, "attack not detected — something is wrong")
+		return nil
 	}
 	named := packet.IP4(first.Values[1])
-	fmt.Printf("attack began at packet %d; first alert at packet %d naming %v (victim %v)\n",
+	fmt.Fprintf(w, "attack began at packet %d; first alert at packet %d naming %v (victim %v)\n",
 		attackStart, first.Values[4], named, victim)
-	fmt.Printf("%d alerts pushed in total; identification correct: %v\n", alerts, named == victim)
+	fmt.Fprintf(w, "%d alerts pushed in total; identification correct: %v\n", alerts, named == victim)
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, 200, 3000); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

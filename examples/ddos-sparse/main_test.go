@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDDoSSparseSmoke replays a reduced trace (60 balanced rounds, then a
+// 1000-packet attack) and requires the sparse tracker to both alert and name
+// the right victim address in the digest.
+func TestDDoSSparseSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 60, 1000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "something is wrong") {
+		t.Fatalf("scaled-down attack went undetected:\n%s", out)
+	}
+	if !strings.Contains(out, "identification correct: true") {
+		t.Fatalf("victim misidentified:\n%s", out)
+	}
+}
+
+// TestDDoSSparseFull runs the example at its default scale.
+func TestDDoSSparseFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale example run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, 200, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "identification correct: true") {
+		t.Fatalf("full run failed:\n%s", sb.String())
+	}
+}

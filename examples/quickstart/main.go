@@ -6,13 +6,17 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
+	"os"
 
 	"stat4/internal/core"
 )
 
-func main() {
+// run feeds `samples` normal-ish observations into a tracked distribution and
+// prints the integer measures plus the outlier check. main uses the full
+// workload; the smoke test a tiny one.
+func run(w io.Writer, samples int) error {
 	// A distribution over values 0..99 — say, packets per destination.
 	dist := core.NewFreqDist(100)
 	median := dist.TrackMedian()
@@ -20,7 +24,7 @@ func main() {
 
 	// Feed it a normal-ish workload centred at 50.
 	rng := rand.New(rand.NewSource(7))
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < samples; i++ {
 		v := rng.NormFloat64()*8 + 50
 		if v < 0 {
 			v = 0
@@ -29,25 +33,33 @@ func main() {
 			v = 99
 		}
 		if err := dist.Observe(uint64(v)); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	m := dist.Moments()
-	fmt.Println("Stat4 tracks the scaled distribution NX, so no division is needed:")
-	fmt.Printf("  N (distinct values)  = %d\n", m.N)
-	fmt.Printf("  Xsum  (= mean of NX) = %d\n", m.Mean())
-	fmt.Printf("  Xsumsq               = %d\n", m.Sumsq)
-	fmt.Printf("  var(NX) = N*Xsumsq - Xsum^2 = %d\n", m.Variance())
-	fmt.Printf("  sd(NX)  (approx sqrt)       = %d\n", m.StdDev())
-	fmt.Printf("  median marker = %d, 90th percentile marker = %d\n", median.Value(), p90.Value())
+	fmt.Fprintln(w, "Stat4 tracks the scaled distribution NX, so no division is needed:")
+	fmt.Fprintf(w, "  N (distinct values)  = %d\n", m.N)
+	fmt.Fprintf(w, "  Xsum  (= mean of NX) = %d\n", m.Mean())
+	fmt.Fprintf(w, "  Xsumsq               = %d\n", m.Sumsq)
+	fmt.Fprintf(w, "  var(NX) = N*Xsumsq - Xsum^2 = %d\n", m.Variance())
+	fmt.Fprintf(w, "  sd(NX)  (approx sqrt)       = %d\n", m.StdDev())
+	fmt.Fprintf(w, "  median marker = %d, 90th percentile marker = %d\n", median.Value(), p90.Value())
 
 	// The outlier test compares in NX space: is a counter k sigma above
 	// the mean frequency?
 	typical := dist.Freq(50)
-	fmt.Printf("\noutlier check at 2 sigma:\n")
-	fmt.Printf("  counter at value 50 (freq %4d): outlier = %v\n",
+	fmt.Fprintf(w, "\noutlier check at 2 sigma:\n")
+	fmt.Fprintf(w, "  counter at value 50 (freq %4d): outlier = %v\n",
 		typical, m.IsOutlierAbove(typical, 2))
-	fmt.Printf("  hypothetical hot counter (%4d): outlier = %v\n",
+	fmt.Fprintf(w, "  hypothetical hot counter (%4d): outlier = %v\n",
 		typical*5, m.IsOutlierAbove(typical*5, 2))
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, 20000); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

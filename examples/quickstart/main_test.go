@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example on a reduced sample count and checks
+// the printed report reaches the outlier verdicts — the whole pipeline from
+// Observe to IsOutlierAbove works end to end.
+func TestQuickstartSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"N (distinct values)",
+		"median marker",
+		"counter at value 50",
+		"outlier = false",
+		"outlier = true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuickstartFull runs the example at its default scale.
+func TestQuickstartFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale example run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "outlier = true") {
+		t.Fatalf("full run never flagged the hot counter:\n%s", sb.String())
+	}
+}

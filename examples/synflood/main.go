@@ -6,7 +6,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"stat4/internal/netem"
 	"stat4/internal/p4"
@@ -15,23 +16,41 @@ import (
 	"stat4/internal/traffic"
 )
 
-func main() {
-	const (
-		intShift = 23 // ~8.4 ms intervals
-		window   = 50
-	)
+// floodConfig sizes the scenario: main runs the full two-second trace, the
+// smoke test a scaled-down one with the same rate ratio.
+type floodConfig struct {
+	IntShift   uint   // log2 of the interval width in ns
+	Window     int    // stored intervals
+	WebRate    float64
+	FloodRate  float64
+	FloodStart uint64
+	EndNs      uint64
+}
+
+func defaultFloodConfig() floodConfig {
+	return floodConfig{
+		IntShift:   23, // ~8.4 ms intervals
+		Window:     50,
+		WebRate:    80000,
+		FloodRate:  400000,
+		FloodStart: 1e9,
+		EndNs:      2e9,
+	}
+}
+
+func run(w io.Writer, cfg floodConfig) error {
 	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1})
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Bind the window to SYN packets only: the binding table matches the
 	// parser's tcp.syn bit, so data packets don't touch the distribution.
 	// k = 3 sigma: SYN arrivals from short web flows are bursty, so the
 	// 2-sigma threshold of the smooth case study would false-alarm here.
 	server := packet.NewPrefix(packet.ParseIP4(10, 0, 1, 0), 24)
-	if _, err := rt.BindWindow(0, 0, stat4p4.SynTo(server), intShift, window, 3); err != nil {
-		log.Fatal(err)
+	if _, err := rt.BindWindow(0, 0, stat4p4.SynTo(server), cfg.IntShift, cfg.Window, 3); err != nil {
+		return err
 	}
 
 	sim := netem.NewSim()
@@ -40,7 +59,7 @@ func main() {
 	// Ignore alerts until the window has filled: with only a few stored
 	// intervals the variance estimate is noisy (the case-study controller
 	// does the same).
-	const warmup = (window + 5) << intShift
+	warmup := uint64(cfg.Window+5) << uint64(cfg.IntShift)
 	var alerts []uint64
 	node.OnDigest = func(now uint64, d p4.Digest) {
 		if d.ID == stat4p4.DigestAnomaly && d.Values[4] >= warmup {
@@ -48,23 +67,29 @@ func main() {
 		}
 	}
 
-	// Background web traffic (SYN:data about 1:8) plus a flood that starts
-	// at t = 1 s.
-	const floodStart = 1e9
+	// Background web traffic (SYN:data about 1:8) plus a flood partway in.
 	dests := []packet.IP4{packet.ParseIP4(10, 0, 1, 6)}
-	web := &traffic.WebMix{Dests: dests, Rate: 80000, End: 2e9, Seed: 1}
-	flood := &traffic.SynFlood{Dest: dests[0], Rate: 400000, Start: floodStart, End: 2e9, Seed: 2}
+	web := &traffic.WebMix{Dests: dests, Rate: cfg.WebRate, End: cfg.EndNs, Seed: 1}
+	flood := &traffic.SynFlood{Dest: dests[0], Rate: cfg.FloodRate, Start: cfg.FloodStart, End: cfg.EndNs, Seed: 2}
 	node.InjectStream(traffic.Merge(web, flood), 1)
 	sim.Run()
 
 	m, _ := rt.ReadMoments(0)
-	fmt.Printf("SYN-rate window after the run: N=%d mean(NX)=%d sd=%d\n", m.N, m.Xsum, m.SD)
+	fmt.Fprintf(w, "SYN-rate window after the run: N=%d mean(NX)=%d sd=%d\n", m.N, m.Xsum, m.SD)
 	if len(alerts) == 0 {
-		fmt.Println("no flood detected — something is wrong")
-		return
+		fmt.Fprintln(w, "no flood detected — something is wrong")
+		return nil
 	}
 	first := alerts[0]
-	fmt.Printf("flood started at %.3fs; first in-switch alert at %.3fs (%.1fms after onset)\n",
-		floodStart/1e9, float64(first)/1e9, (float64(first)-floodStart)/1e6)
-	fmt.Printf("%d alert digests pushed to the controller in total\n", len(alerts))
+	fmt.Fprintf(w, "flood started at %.3fs; first in-switch alert at %.3fs (%.1fms after onset)\n",
+		float64(cfg.FloodStart)/1e9, float64(first)/1e9, (float64(first)-float64(cfg.FloodStart))/1e6)
+	fmt.Fprintf(w, "%d alert digests pushed to the controller in total\n", len(alerts))
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, defaultFloodConfig()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

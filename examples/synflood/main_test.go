@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeFloodConfig shrinks the scenario ~13x while keeping the web:flood
+// rate ratio, so the in-switch detection still has a clean signal: ~1 ms
+// intervals, a 30-interval window, and a flood starting at 100 ms.
+func smokeFloodConfig() floodConfig {
+	return floodConfig{
+		IntShift:   20,
+		Window:     30,
+		WebRate:    80000,
+		FloodRate:  400000,
+		FloodStart: 100e6,
+		EndNs:      150e6,
+	}
+}
+
+// TestSynfloodSmoke replays the scaled-down trace and requires the switch to
+// have pushed at least one post-warmup anomaly digest.
+func TestSynfloodSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, smokeFloodConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "something is wrong") {
+		t.Fatalf("scaled-down flood went undetected:\n%s", out)
+	}
+	if !strings.Contains(out, "first in-switch alert") {
+		t.Fatalf("output missing the alert line:\n%s", out)
+	}
+}
+
+// TestSynfloodFull runs the example at its default two-second scale.
+func TestSynfloodFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale example run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, defaultFloodConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "first in-switch alert") {
+		t.Fatalf("full run detected nothing:\n%s", sb.String())
+	}
+}

@@ -85,3 +85,85 @@ func PullShared(slot, size int, rts ...*stat4p4.Runtime) ([]uint64, core.Moments
 	}
 	return MergeShared(sets...)
 }
+
+// Report is one switch's per-epoch counter pull as it arrives at the
+// aggregation point. Reports travel over a control network: they can arrive
+// out of epoch order, and retransmissions can deliver the same report twice.
+type Report struct {
+	Switch   string
+	Epoch    uint64
+	Counters []uint64
+}
+
+type reportKey struct {
+	sw    string
+	epoch uint64
+}
+
+// Aggregator folds per-switch, per-epoch counter reports into one shared
+// distribution, deduplicating by (switch, epoch): the first report for a key
+// wins, retransmissions are counted and ignored. Because per-value counter
+// addition is commutative and associative (the same law the sharded
+// datapath's merge rests on), arrival order never affects the merged state —
+// out-of-order epochs need no reordering buffer.
+type Aggregator struct {
+	size     int
+	merged   []uint64
+	seen     map[reportKey]bool
+	accepted uint64
+	dupes    uint64
+}
+
+// NewAggregator returns an empty aggregator over counter arrays of the given
+// cell count.
+func NewAggregator(size int) *Aggregator {
+	return &Aggregator{
+		size:   size,
+		merged: make([]uint64, size),
+		seen:   make(map[reportKey]bool),
+	}
+}
+
+// Add folds one report in. It returns false with no state change when the
+// (switch, epoch) pair was already accepted, and an error when the report's
+// shape does not match the aggregator's domain.
+func (a *Aggregator) Add(r Report) (bool, error) {
+	if len(r.Counters) != a.size {
+		return false, fmt.Errorf("%w: report from %q epoch %d has %d cells, want %d",
+			ErrShape, r.Switch, r.Epoch, len(r.Counters), a.size)
+	}
+	k := reportKey{sw: r.Switch, epoch: r.Epoch}
+	if a.seen[k] {
+		a.dupes++
+		return false, nil
+	}
+	a.seen[k] = true
+	a.accepted++
+	for v, f := range r.Counters {
+		a.merged[v] += f
+	}
+	return true, nil
+}
+
+// Merged returns the combined counters and their recomputed moments —
+// per-value addition first, moments second, the MergeShared order that keeps
+// Σ(f1+f2)² exact.
+func (a *Aggregator) Merged() ([]uint64, core.Moments) {
+	out := append([]uint64(nil), a.merged...)
+	var n, sum, sumsq uint64
+	for _, f := range out {
+		if f == 0 {
+			continue
+		}
+		n++
+		sum += f
+		sumsq += f * f
+	}
+	return out, core.NewMoments(n, sum, sumsq)
+}
+
+// Accepted returns how many reports were folded in.
+func (a *Aggregator) Accepted() uint64 { return a.accepted }
+
+// Duplicates returns how many retransmitted reports were ignored.
+func (a *Aggregator) Duplicates() uint64 { return a.dupes }

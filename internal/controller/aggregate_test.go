@@ -3,6 +3,7 @@ package controller
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"stat4/internal/core"
@@ -111,5 +112,89 @@ func TestMergeSharedShapeErrors(t *testing.T) {
 	}
 	if _, _, err := MergeShared([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrShape) {
 		t.Fatalf("mismatched merge: %v", err)
+	}
+}
+
+// TestAggregatorDedupsDuplicateReports is the retransmission regression: the
+// same (switch, epoch) report delivered twice must be folded in exactly once.
+func TestAggregatorDedupsDuplicateReports(t *testing.T) {
+	a := NewAggregator(4)
+	r := Report{Switch: "s1", Epoch: 1, Counters: []uint64{1, 2, 0, 3}}
+	if ok, err := a.Add(r); err != nil || !ok {
+		t.Fatalf("first add: ok=%v err=%v", ok, err)
+	}
+	if ok, err := a.Add(r); err != nil || ok {
+		t.Fatalf("duplicate add: ok=%v err=%v, want rejected", ok, err)
+	}
+	if a.Accepted() != 1 || a.Duplicates() != 1 {
+		t.Fatalf("accepted=%d dupes=%d", a.Accepted(), a.Duplicates())
+	}
+	merged, m := a.Merged()
+	want := []uint64{1, 2, 0, 3}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", merged, want)
+		}
+	}
+	if m.N != 3 || m.Sum != 6 || m.Sumsq != 1+4+9 {
+		t.Fatalf("moments = %+v", m)
+	}
+
+	// Same switch, new epoch: accepted. Different switch, same epoch: accepted.
+	if ok, _ := a.Add(Report{Switch: "s1", Epoch: 2, Counters: []uint64{1, 0, 0, 0}}); !ok {
+		t.Fatal("new epoch rejected")
+	}
+	if ok, _ := a.Add(Report{Switch: "s2", Epoch: 1, Counters: []uint64{0, 1, 0, 0}}); !ok {
+		t.Fatal("other switch rejected")
+	}
+}
+
+// TestAggregatorOrderIndependent is the out-of-order regression: any arrival
+// permutation of the same report set — epochs interleaved across switches,
+// duplicates sprinkled in — yields identical merged state.
+func TestAggregatorOrderIndependent(t *testing.T) {
+	reports := []Report{
+		{Switch: "a", Epoch: 3, Counters: []uint64{5, 0, 1}},
+		{Switch: "b", Epoch: 1, Counters: []uint64{0, 2, 2}},
+		{Switch: "a", Epoch: 1, Counters: []uint64{1, 1, 0}},
+		{Switch: "b", Epoch: 3, Counters: []uint64{2, 0, 7}},
+		{Switch: "a", Epoch: 2, Counters: []uint64{0, 0, 4}},
+	}
+	run := func(order []int, withDupes bool) ([]uint64, core.Moments) {
+		t.Helper()
+		a := NewAggregator(3)
+		for _, i := range order {
+			if _, err := a.Add(reports[i]); err != nil {
+				t.Fatal(err)
+			}
+			if withDupes {
+				if ok, _ := a.Add(reports[i]); ok {
+					t.Fatal("duplicate accepted")
+				}
+			}
+		}
+		merged, m := a.Merged()
+		return merged, m
+	}
+	wantCells, wantM := run([]int{0, 1, 2, 3, 4}, false)
+	for _, order := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}} {
+		for _, withDupes := range []bool{false, true} {
+			cells, m := run(order, withDupes)
+			if !reflect.DeepEqual(cells, wantCells) || m != wantM {
+				t.Fatalf("order %v dupes=%v: merged %v %+v, want %v %+v",
+					order, withDupes, cells, m, wantCells, wantM)
+			}
+		}
+	}
+}
+
+// TestAggregatorRejectsBadShape covers the shape guard.
+func TestAggregatorRejectsBadShape(t *testing.T) {
+	a := NewAggregator(3)
+	if _, err := a.Add(Report{Switch: "s", Epoch: 1, Counters: []uint64{1}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	if a.Accepted() != 0 {
+		t.Fatal("bad-shape report counted as accepted")
 	}
 }

@@ -326,3 +326,36 @@ func TestQuantileComparison(t *testing.T) {
 		t.Error("P2 state cells wrong")
 	}
 }
+
+// TestShardScale runs the shard sweep at a small duration: every row must be
+// byte-equivalent to serial, shard 1 is the serial identity (speedup 1), and
+// packet totals must agree across rows (same workload, different sharding).
+func TestShardScale(t *testing.T) {
+	rows, err := ShardScale(ShardScaleParams{DurationNs: 5e5, ShardCounts: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equivalent {
+			t.Fatalf("shards=%d: merged snapshot diverged from serial", r.Shards)
+		}
+		if r.Packets == 0 {
+			t.Fatalf("shards=%d: no packets", r.Shards)
+		}
+		if r.Packets != rows[0].Packets {
+			t.Fatalf("shards=%d saw %d packets, shards=1 saw %d", r.Shards, r.Packets, rows[0].Packets)
+		}
+	}
+	if rows[0].ModeledSpeedup != 1 {
+		t.Fatalf("1-shard speedup = %v", rows[0].ModeledSpeedup)
+	}
+	if rows[2].ModeledSpeedup <= 1 {
+		t.Fatalf("4-shard speedup = %v, want > 1", rows[2].ModeledSpeedup)
+	}
+	if s := FormatShardScale(rows); !strings.Contains(s, "speedup") {
+		t.Fatalf("format: %q", s)
+	}
+}

@@ -44,11 +44,30 @@ type FieldDef struct {
 	Width Width
 }
 
+// MergeKind classifies how a register array combines across replicas of the
+// same program (the per-core shards of a ShardedSwitch, or switches sharing
+// a monitoring role). It drives MergedSnapshot, not the data plane.
+type MergeKind uint8
+
+const (
+	// MergeSum registers hold additive state — frequency counters, packet
+	// and byte sums — whose cells add across replicas, masked to the cell
+	// width. This is the default: the paper's scaled moments are built
+	// entirely from such sums, which is what makes Stat4 state mergeable.
+	MergeSum MergeKind = iota
+	// MergeDerived registers hold values computed from other registers
+	// (variance, standard deviation, percentile markers) or replica-local
+	// scratch. They do not add: Σ(f+g)² ≠ Σf² + Σg². Merged snapshots zero
+	// them; consumers recompute from the merged MergeSum state.
+	MergeDerived
+)
+
 // RegisterDef declares a register array.
 type RegisterDef struct {
 	Name  string
 	Cells int
 	Width Width
+	Merge MergeKind
 }
 
 // Bytes returns the array's memory footprint in bytes, rounding each cell up
@@ -125,6 +144,19 @@ func (p *Program) AddRegister(name string, cells int, w Width) {
 		panic(fmt.Sprintf("p4: register %q width %d out of range", name, w))
 	}
 	p.Registers = append(p.Registers, RegisterDef{Name: name, Cells: cells, Width: w})
+}
+
+// SetRegisterMerge tags a declared register with its cross-replica merge
+// behaviour. Like the Add helpers it is called by trusted program builders
+// at startup, so an unknown name panics.
+func (p *Program) SetRegisterMerge(name string, k MergeKind) {
+	for i := range p.Registers {
+		if p.Registers[i].Name == name {
+			p.Registers[i].Merge = k
+			return
+		}
+	}
+	panic(fmt.Sprintf("p4: SetRegisterMerge of undeclared register %q", name))
 }
 
 // AddAction declares an action.

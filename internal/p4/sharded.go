@@ -1,0 +1,351 @@
+package p4
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stat4/internal/packet"
+)
+
+// ShardedSwitch runs N replicas ("shards") of one program behind an
+// RSS-style flow-hash dispatcher, modelling a multi-core or multi-pipeline
+// deployment of the same Stat4 program. Every frame is steered by a hash of
+// its 5-tuple, so all packets of a flow land on the same shard and per-flow
+// register state never races; each shard keeps the single-goroutine
+// data-plane contract of Switch.
+//
+// ProcessBatch partitions a batch by shard and runs the shards concurrently,
+// then reduces outputs in shard-index order: for shard 0, 1, … its digests
+// are forwarded to the merged mailbox and its frames handed to emit. Given
+// the same batch the reduction order is deterministic, which is what the
+// differential tests pin — outputs are grouped by shard rather than
+// interleaved in arrival order, the one observable difference from a single
+// switch.
+//
+// Register state stays sharded; MergedSnapshot combines it on demand the way
+// a controller combines reports from independent switches: MergeSum
+// registers add cell-wise, MergeDerived registers are zeroed for downstream
+// recomputation (see stat4p4.CanonicalizeSnapshot).
+type ShardedSwitch struct {
+	prog    *Program
+	shards  []*Switch
+	digests chan Digest
+
+	parts [][]FrameIn    // per-shard batch partitions, reused
+	outs  []*shardOutBuf // per-shard buffered outputs, reused
+	emits []func(FrameOut)
+	work  []chan struct{}
+	wg    sync.WaitGroup
+
+	digestDrops atomic.Uint64 // lost forwarding to the merged mailbox
+	closed      bool
+}
+
+// outRef locates one buffered output frame inside a shard's byte buffer.
+type outRef struct {
+	port     uint16
+	off, end int
+}
+
+// shardOutBuf collects a shard's output frames during a concurrent batch.
+// The bytes are copied out of the shard's deparse scratch (which the next
+// packet in the partition overwrites) into one append-only buffer, so a
+// steady-state batch allocates nothing once the buffer has grown to the
+// high-water mark.
+type shardOutBuf struct {
+	refs  []outRef
+	bytes []byte
+}
+
+// NewShardedSwitch builds n replicas of the program, each with its own
+// registers, tables and digest channel of the given capacity, plus a merged
+// digest mailbox of the same capacity, and starts one worker goroutine per
+// shard. Call Close to stop the workers.
+func NewShardedSwitch(prog *Program, std StdFields, n, digestBuf int) (*ShardedSwitch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("p4: sharded switch with %d shards", n)
+	}
+	if digestBuf <= 0 {
+		digestBuf = 1024
+	}
+	ss := &ShardedSwitch{
+		prog:    prog,
+		shards:  make([]*Switch, n),
+		digests: make(chan Digest, digestBuf),
+		parts:   make([][]FrameIn, n),
+		outs:    make([]*shardOutBuf, n),
+		emits:   make([]func(FrameOut), n),
+		work:    make([]chan struct{}, n),
+	}
+	for i := range ss.shards {
+		sw, err := NewSwitch(prog, std, digestBuf)
+		if err != nil {
+			return nil, err
+		}
+		ss.shards[i] = sw
+		buf := &shardOutBuf{}
+		ss.outs[i] = buf
+		ss.emits[i] = func(o FrameOut) {
+			off := len(buf.bytes)
+			buf.bytes = append(buf.bytes, o.Data...)
+			buf.refs = append(buf.refs, outRef{port: o.Port, off: off, end: len(buf.bytes)})
+		}
+		ss.work[i] = make(chan struct{}, 1)
+		go ss.worker(i)
+	}
+	return ss, nil
+}
+
+// worker is shard i's data-plane goroutine: it owns the shard exclusively,
+// waking per batch to run its partition. The channel send in ProcessBatch
+// publishes the partition; wg.Done publishes the outputs back.
+func (ss *ShardedSwitch) worker(i int) {
+	sw := ss.shards[i]
+	for range ss.work[i] {
+		sw.ProcessBatch(ss.parts[i], ss.emits[i])
+		ss.wg.Done()
+	}
+}
+
+// Close stops the shard workers. The switch must be idle (no ProcessBatch in
+// flight); further Process* calls panic.
+func (ss *ShardedSwitch) Close() {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	for _, w := range ss.work {
+		close(w)
+	}
+}
+
+// NumShards returns the replica count.
+func (ss *ShardedSwitch) NumShards() int { return len(ss.shards) }
+
+// Shard returns replica i, for per-shard control-plane work (binding table
+// entries, attaching observers, reading registers). The control plane must
+// drive every shard identically for MergedSnapshot's entry view (taken from
+// shard 0) to be representative.
+func (ss *ShardedSwitch) Shard(i int) *Switch { return ss.shards[i] }
+
+// Program returns the replicated program.
+func (ss *ShardedSwitch) Program() *Program { return ss.prog }
+
+// Digests returns the merged alert mailbox. ProcessBatch forwards each
+// shard's digests into it in shard-index order after the concurrent phase;
+// the serial Process* paths forward eagerly.
+func (ss *ShardedSwitch) Digests() <-chan Digest { return ss.digests }
+
+// ShardOf returns the shard index the dispatcher steers a raw frame to.
+//
+//stat4:datapath
+func (ss *ShardedSwitch) ShardOf(data []byte) int {
+	return shardIndex(FlowKey(data), len(ss.shards))
+}
+
+// ShardOfPacket is ShardOf for an already-decoded packet.
+//
+//stat4:datapath
+func (ss *ShardedSwitch) ShardOfPacket(pkt *packet.Packet) int {
+	return shardIndex(PacketFlowKey(pkt), len(ss.shards))
+}
+
+// shardIndex maps a flow key onto [0, n) without a modulo (the dispatcher is
+// per-packet hardware): the key is hashed once more, and the upper 32 bits
+// are scaled by n with a multiply-shift — Lemire's fast range reduction.
+//
+//stat4:datapath
+func shardIndex(key uint64, n int) int {
+	h32 := HashValue(0, key) >> 32
+	return int((h32 * uint64(n)) >> 32)
+}
+
+// FlowKey computes the RSS dispatch key of a raw frame: a hash-mix of the
+// IPv4 5-tuple (source, destination, protocol, transport ports) for IPv4
+// frames, or of the Ethernet header for everything else. For any frame the
+// switch parser accepts, FlowKey(frame) equals PacketFlowKey of the decoded
+// packet; frames the parser would reject still get a deterministic key (the
+// dispatcher runs before the parser, like a NIC's RSS engine).
+//
+//stat4:datapath
+func FlowKey(data []byte) uint64 {
+	if len(data) >= 34 && binary.BigEndian.Uint16(data[12:14]) == uint16(packet.EtherTypeIPv4) {
+		vihl := data[14]
+		ihl := int(vihl&0x0f) * 4
+		if vihl>>4 == 4 && ihl >= 20 && len(data) >= 14+ihl {
+			src := binary.BigEndian.Uint32(data[26:30])
+			dst := binary.BigEndian.Uint32(data[30:34])
+			proto := data[23]
+			var ports uint64
+			if (proto == uint8(packet.ProtoTCP) || proto == uint8(packet.ProtoUDP)) && len(data) >= 14+ihl+4 {
+				ports = uint64(binary.BigEndian.Uint32(data[14+ihl : 14+ihl+4]))
+			}
+			return tupleKey(src, dst, proto, ports)
+		}
+	}
+	var hdr [14]byte
+	copy(hdr[:], data)
+	return etherKey(hdr)
+}
+
+// PacketFlowKey computes the same dispatch key from a decoded packet, for
+// callers (the discrete-event network) that inject packets rather than raw
+// frames.
+//
+//stat4:datapath
+func PacketFlowKey(pkt *packet.Packet) uint64 {
+	if pkt.HasIPv4 {
+		var ports uint64
+		switch {
+		case pkt.HasTCP:
+			ports = uint64(pkt.TCP.SrcPort)<<16 | uint64(pkt.TCP.DstPort)
+		case pkt.HasUDP:
+			ports = uint64(pkt.UDP.SrcPort)<<16 | uint64(pkt.UDP.DstPort)
+		}
+		return tupleKey(uint32(pkt.IPv4.Src), uint32(pkt.IPv4.Dst), uint8(pkt.IPv4.Proto), ports)
+	}
+	var hdr [14]byte
+	copy(hdr[0:6], pkt.Eth.Dst[:])
+	copy(hdr[6:12], pkt.Eth.Src[:])
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(pkt.Eth.Type))
+	return etherKey(hdr)
+}
+
+// tupleKey mixes the 5-tuple into one key with two hash-engine passes.
+//
+//stat4:datapath
+func tupleKey(src, dst uint32, proto uint8, ports uint64) uint64 {
+	k1 := uint64(src)<<32 | uint64(dst)
+	k2 := uint64(proto)<<32 | ports
+	return HashValue(1, k1) ^ HashValue(2, k2)
+}
+
+// etherKey mixes a (zero-padded) Ethernet header into one key.
+//
+//stat4:datapath
+func etherKey(hdr [14]byte) uint64 {
+	hi := binary.BigEndian.Uint64(hdr[0:8])
+	lo := uint64(binary.BigEndian.Uint32(hdr[8:12]))<<16 | uint64(binary.BigEndian.Uint16(hdr[12:14]))
+	return HashValue(1, hi) ^ HashValue(2, lo)
+}
+
+// ProcessFrame steers one frame to its shard and runs it there, forwarding
+// any digests it raised to the merged mailbox. Like Switch.ProcessFrame the
+// returned frames alias shard scratch, valid until the next Process* call on
+// this sharded switch.
+func (ss *ShardedSwitch) ProcessFrame(tsNs uint64, inPort uint16, data []byte) []FrameOut {
+	sw := ss.shards[ss.ShardOf(data)]
+	outs := sw.ProcessFrame(tsNs, inPort, data)
+	ss.forwardDigests(sw)
+	return outs
+}
+
+// ProcessPacket is ProcessFrame for already-decoded packets.
+func (ss *ShardedSwitch) ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []FrameOut {
+	sw := ss.shards[ss.ShardOfPacket(pkt)]
+	outs := sw.ProcessPacket(tsNs, inPort, pkt)
+	ss.forwardDigests(sw)
+	return outs
+}
+
+// ProcessBatch partitions the batch by flow hash, runs all shards
+// concurrently, and reduces the results in shard-index order — digests
+// forwarded first, then output frames handed to emit (which therefore runs
+// on the caller's goroutine only). Each emitted frame's Data is valid only
+// during its emit call. emit may be nil to process for side effects only.
+func (ss *ShardedSwitch) ProcessBatch(batch []FrameIn, emit func(FrameOut)) {
+	n := len(ss.shards)
+	for i := 0; i < n; i++ {
+		ss.parts[i] = ss.parts[i][:0]
+		ss.outs[i].refs = ss.outs[i].refs[:0]
+		ss.outs[i].bytes = ss.outs[i].bytes[:0]
+	}
+	for i := range batch {
+		s := shardIndex(FlowKey(batch[i].Data), n)
+		ss.parts[s] = append(ss.parts[s], batch[i])
+	}
+	for i := 0; i < n; i++ {
+		if len(ss.parts[i]) == 0 {
+			continue
+		}
+		ss.wg.Add(1)
+		ss.work[i] <- struct{}{}
+	}
+	ss.wg.Wait()
+	for i := 0; i < n; i++ {
+		ss.forwardDigests(ss.shards[i])
+		if emit != nil {
+			buf := ss.outs[i]
+			for _, r := range buf.refs {
+				emit(FrameOut{Port: r.port, Data: buf.bytes[r.off:r.end]})
+			}
+		}
+	}
+}
+
+// forwardDigests drains one shard's mailbox into the merged mailbox without
+// blocking; digests lost to a full merged mailbox are counted like the data
+// plane counts drops on a full shard mailbox.
+func (ss *ShardedSwitch) forwardDigests(sw *Switch) {
+	for {
+		select {
+		case d := <-sw.digests:
+			select {
+			case ss.digests <- d:
+			default:
+				ss.digestDrops.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Stats sums the shard counters; DigestDrops additionally includes digests
+// lost in forwarding to the merged mailbox.
+func (ss *ShardedSwitch) Stats() Stats {
+	var total Stats
+	for _, sw := range ss.shards {
+		s := sw.Stats()
+		total.PktsIn += s.PktsIn
+		total.PktsOut += s.PktsOut
+		total.Dropped += s.Dropped
+		total.ParseErrors += s.ParseErrors
+		total.RuntimeErrors += s.RuntimeErrors
+		total.DigestDrops += s.DigestDrops
+	}
+	total.DigestDrops += ss.digestDrops.Load()
+	return total
+}
+
+// MergedSnapshot combines the shards' register state into one snapshot as if
+// a single switch had seen all the traffic: MergeSum register cells add
+// (masked to the declared width), MergeDerived registers read as zero —
+// their values are replica-local derivations that consumers recompute from
+// the merged sums (stat4p4.CanonicalizeSnapshot does exactly that for
+// emitted Stat4 programs). Table entries are shard 0's, under the contract
+// that the control plane drives all shards identically.
+func (ss *ShardedSwitch) MergedSnapshot() *Snapshot {
+	snap := ss.shards[0].Snapshot()
+	for name, cells := range snap.Registers {
+		def, _ := ss.prog.register(name)
+		if def.Merge == MergeDerived {
+			for i := range cells {
+				cells[i] = 0
+			}
+			continue
+		}
+		mask := widthMask(def.Width)
+		for _, sw := range ss.shards[1:] {
+			other := sw.regs[name]
+			other.mu.RLock()
+			for i := range cells {
+				cells[i] = (cells[i] + other.cells[i]) & mask
+			}
+			other.mu.RUnlock()
+		}
+	}
+	return snap
+}

@@ -260,10 +260,18 @@ func (l *Library) declareFields() {
 func (l *Library) declareRegisters() {
 	cells := l.Opts.Slots * l.Opts.Size
 	w := l.Opts.CellWidth
+	// Only the counter array is additive across replicas (MergeSum, the
+	// default): it holds the tracked distribution itself, a plain sum over
+	// observations. Everything else — squared shadows, moments, variance,
+	// window and marker state — is a per-replica derivation of it
+	// (Σ(f+g)² ≠ Σf² + Σg²), so merged snapshots zero those registers and
+	// CanonicalizeSnapshot recomputes them from the merged counters.
 	l.Prog.AddRegister(RegCounters, cells, w)
 	l.Prog.AddRegister(RegSquares, cells, w)
+	l.Prog.SetRegisterMerge(RegSquares, p4.MergeDerived)
 	for _, name := range ScalarRegisters {
 		l.Prog.AddRegister(name, l.Opts.Slots, w)
+		l.Prog.SetRegisterMerge(name, p4.MergeDerived)
 	}
 }
 

@@ -33,8 +33,13 @@ const kindSparse = 2
 func (l *Library) declareSparse() {
 	f := &l.f
 	cells := l.Opts.Slots * l.Opts.Size
+	// Bucket keys and valid flags are replica-local: shards see different
+	// flow subsets, so their hash buckets hold different keys and cannot be
+	// combined cell-wise. Rejection counts are plain sums.
 	l.Prog.AddRegister(RegKeys, cells, 64)
+	l.Prog.SetRegisterMerge(RegKeys, p4.MergeDerived)
 	l.Prog.AddRegister(RegUsedBits, cells, l.Opts.CellWidth)
+	l.Prog.SetRegisterMerge(RegUsedBits, p4.MergeDerived)
 	l.Prog.AddRegister(RegRejected, l.Opts.Slots, l.Opts.CellWidth)
 
 	common := []p4.Op{

@@ -137,3 +137,35 @@ func BucketLow(b uint64) uint64 {
 		return (1<<HistFracBits | m) << (e - HistFracBits)
 	}
 }
+
+// MergeFrom folds another histogram into this one, as if every sample o
+// recorded had been recorded here: counts, sums and extrema combine
+// exactly, the bucket distributions merge cell-wise (core.FreqDist.MergeFrom
+// re-derives the P50/P99 markers from the combined counters), marker
+// movement counts sum as total marker work across replicas, and the
+// log-domain moments merge additively. The shapes always match — every Hist
+// has HistBuckets cells — so the only error source is a foreign dist, which
+// cannot be constructed through this package.
+//
+// It is the aggregation path for per-shard metrics: each shard records into
+// its own Hist single-writer, and a merged view is built after processing
+// stops (or from quiesced snapshots).
+func (h *Hist) MergeFrom(o *Hist) error {
+	if err := h.dist.MergeFrom(o.dist); err != nil {
+		return err
+	}
+	h.p50.AddMoves(o.p50.Moves())
+	h.p99.AddMoves(o.p99.Moves())
+	h.logm.MergeFrom(&o.logm)
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	return nil
+}

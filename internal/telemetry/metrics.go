@@ -1,6 +1,9 @@
 package telemetry
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Counter is a plain monotonic event counter. Like every recorder in the
 // package it is single-writer: increment it from the data-plane goroutine
@@ -236,4 +239,124 @@ func (p *Pipeline) Register(reg *Registry) {
 	reg.RegisterCounter("node_unrouted_frames", "frames emitted on unconnected ports", p.Node.UnroutedFrames.Value)
 	reg.RegisterHist("event_queue_depth", "simulator event-queue depth per event", p.Queue)
 	reg.RegisterTimeline("controller_phase", "drill-down phase transitions", p.Phases)
+}
+
+// MergeFrom folds another switch observer's recordings into this one: cost
+// and digest-wait distributions merge, digest counters add. The in-flight
+// emit-timestamp ring is deliberately untouched — a merged view is a
+// read-side aggregate over finished (or quiesced) shards, not a live
+// recorder to keep pairing digests on.
+func (m *SwitchMetrics) MergeFrom(o *SwitchMetrics) error {
+	if err := m.Cost.MergeFrom(o.Cost); err != nil {
+		return err
+	}
+	if err := m.DigestWait.MergeFrom(o.DigestWait); err != nil {
+		return err
+	}
+	m.emitted.Add(o.emitted.Value())
+	m.dropped.Add(o.dropped.Value())
+	m.delivered.Add(o.delivered.Value())
+	return nil
+}
+
+// MergeFrom folds another node's channel observables into this one.
+func (n *NodeMetrics) MergeFrom(o *NodeMetrics) error {
+	if err := n.FrameLatency.MergeFrom(o.FrameLatency); err != nil {
+		return err
+	}
+	if err := n.CtrlLatency.MergeFrom(o.CtrlLatency); err != nil {
+		return err
+	}
+	if err := n.DigestQueue.MergeFrom(o.DigestQueue); err != nil {
+		return err
+	}
+	n.DroppedDigests.Add(o.DroppedDigests.Value())
+	n.UnroutedFrames.Add(o.UnroutedFrames.Value())
+	return nil
+}
+
+// ShardedPipeline bundles the recorders for a sharded switch→controller
+// pipeline: one switch observer per shard (each single-writer on its shard's
+// goroutine), a persistent merged fleet view, plus the shared node, queue
+// and phase recorders of the chassis. It is what the cmds wire up behind
+// -metrics -shards=N.
+//
+// The merged histograms are rebuilt by Refresh, not kept live — merging is
+// a read-side aggregate (the controller-pull arrow), so call Refresh once
+// the shards have quiesced, before rendering the registry. Merged counters
+// need no refresh: they are registered as lazy sums over the shards.
+type ShardedPipeline struct {
+	// Shards holds one observer per shard; attach Shards[i] to shard i.
+	Shards []*SwitchMetrics
+	// Merged is the fleet-wide switch view, valid after Refresh.
+	Merged *SwitchMetrics
+	Node   *NodeMetrics
+	Queue  *Hist
+	Phases *Timeline
+}
+
+// NewShardedPipeline returns a bundle for n shards.
+func NewShardedPipeline(n int) *ShardedPipeline {
+	sp := &ShardedPipeline{
+		Merged: NewSwitchMetrics(0),
+		Node:   NewNodeMetrics(),
+		Queue:  NewHist(),
+		Phases: NewTimeline(64),
+	}
+	for i := 0; i < n; i++ {
+		sp.Shards = append(sp.Shards, NewSwitchMetrics(0))
+	}
+	return sp
+}
+
+// Refresh rebuilds the merged fleet view from the shards' current state.
+// Call it after processing stops (or between quiesced intervals), before
+// rendering a registry the bundle is registered on.
+func (sp *ShardedPipeline) Refresh() {
+	sp.Merged.Cost.Reset()
+	sp.Merged.DigestWait.Reset()
+	sp.Merged.emitted, sp.Merged.dropped, sp.Merged.delivered = 0, 0, 0
+	for _, s := range sp.Shards {
+		// Shapes are package-constructed, so merging cannot fail.
+		_ = sp.Merged.MergeFrom(s)
+	}
+}
+
+// shardSum returns a lazy fleet-total counter reader.
+func (sp *ShardedPipeline) shardSum(read func(*SwitchMetrics) uint64) func() uint64 {
+	return func() uint64 {
+		var total uint64
+		for _, s := range sp.Shards {
+			total += read(s)
+		}
+		return total
+	}
+}
+
+// Register adds the merged fleet view under the standard pipeline names and
+// each shard's observer under a shardN_ prefix, so one snapshot shows both
+// the chassis totals and the per-shard split. Merged histograms render
+// whatever the last Refresh built; counters render live sums.
+func (sp *ShardedPipeline) Register(reg *Registry) {
+	reg.RegisterHist("packet_cost_ns", "per-packet processing cost, all shards", sp.Merged.Cost)
+	reg.RegisterHist("digest_wait_ns", "digest emit-to-drain wall-clock wait, all shards", sp.Merged.DigestWait)
+	reg.RegisterCounter("digests_emitted", "digests accepted by the channels, all shards",
+		sp.shardSum((*SwitchMetrics).Emitted))
+	reg.RegisterCounter("digests_dropped", "digests lost to full channels, all shards",
+		sp.shardSum((*SwitchMetrics).Dropped))
+	reg.RegisterCounter("digests_delivered", "digests drained by consumers, all shards",
+		sp.shardSum((*SwitchMetrics).Delivered))
+	reg.RegisterHist("frame_latency_ns", "inject-to-deliver virtual latency", sp.Node.FrameLatency)
+	reg.RegisterHist("ctrl_latency_ns", "digest control-channel virtual latency", sp.Node.CtrlLatency)
+	reg.RegisterHist("digest_queue_depth", "digest channel occupancy at drain", sp.Node.DigestQueue)
+	reg.RegisterCounter("node_dropped_digests", "digests drained with no handler attached", sp.Node.DroppedDigests.Value)
+	reg.RegisterCounter("node_unrouted_frames", "frames emitted on unconnected ports", sp.Node.UnroutedFrames.Value)
+	reg.RegisterHist("event_queue_depth", "simulator event-queue depth per event", sp.Queue)
+	reg.RegisterTimeline("controller_phase", "drill-down phase transitions", sp.Phases)
+	for i, s := range sp.Shards {
+		prefix := fmt.Sprintf("shard%d_", i)
+		reg.RegisterHist(prefix+"packet_cost_ns", fmt.Sprintf("shard %d per-packet processing cost", i), s.Cost)
+		reg.RegisterCounter(prefix+"digests_emitted", fmt.Sprintf("shard %d digests accepted by the channel", i), s.Emitted)
+		reg.RegisterCounter(prefix+"digests_dropped", fmt.Sprintf("shard %d digests lost to a full channel", i), s.Dropped)
+	}
 }

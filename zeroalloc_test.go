@@ -174,3 +174,50 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 		t.Fatal("telemetry observer recorded nothing")
 	}
 }
+
+// TestShardedProcessBatchZeroAlloc pins the sharded hot path: once the
+// per-shard partition, output and digest buffers reach steady state, a batch
+// through the dispatcher — partition, concurrent shard runs, ordered
+// reduction — must not allocate, per shard or in the fan-out itself.
+func TestShardedProcessBatchZeroAlloc(t *testing.T) {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	sr, err := stat4p4.NewShardedRuntime(lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if _, err := sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 0, 0, 256, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ss := sr.Sharded()
+	obs := make([]*telemetry.SwitchMetrics, ss.NumShards())
+	for i := range obs {
+		obs[i] = attachTelemetry(ss.Shard(i))
+	}
+	batch := make([]p4.FrameIn, 64)
+	for i := range batch {
+		// Spread flows so every shard owns a partition.
+		frame := packet.NewUDPFrame(packet.IP4(uint32(i)), packet.IP4(200+uint32(i%8)), uint16(5+i), 80, 10).Serialize()
+		batch[i] = p4.FrameIn{TsNs: uint64(i), Port: 1, Data: frame}
+	}
+	var seen int
+	emit := func(p4.FrameOut) { seen++ }
+	for i := 0; i < warmupPackets/len(batch); i++ {
+		ss.ProcessBatch(batch, emit)
+	}
+	assertZeroAllocs(t, "sharded-batch", func() {
+		ss.ProcessBatch(batch, emit)
+	})
+	if seen == 0 {
+		t.Fatal("emit never called")
+	}
+	var shardsHit int
+	for _, o := range obs {
+		if o.Cost.Count() > 0 {
+			shardsHit++
+		}
+	}
+	if shardsHit < 2 {
+		t.Fatalf("traffic reached %d shards, want at least 2", shardsHit)
+	}
+}
