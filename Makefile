@@ -31,26 +31,30 @@ lint:
 	$(GO) build -o $(CURDIR)/bin/stat4-lint ./cmd/stat4-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/stat4-lint ./...
 
-# bench regenerates BENCH_$(BENCHN).json: the E1–E6 experiment benchmarks plus
-# the per-packet switch benches, with allocation counts (-benchmem). Set
-# BASELINE to a saved `go test -bench` output to record before/after deltas in
-# the JSON; raise BENCHCOUNT for lower-variance numbers.
+# bench regenerates BENCH_$(BENCHN).json: the E1–E6 experiment benchmarks, the
+# per-packet switch benches and the simulation-engine benches (scheduling,
+# dispatch, batched stream injection — wheel vs reference heap), with
+# allocation counts (-benchmem). Set BASELINE to a saved `go test -bench`
+# output to record before/after deltas in the JSON; raise BENCHCOUNT for
+# lower-variance numbers.
 BENCHN ?= 1
 BENCHCOUNT ?= 1
-BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch|Sharded)
+BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch|Sharded|Sim|InjectStream)
 bench:
 	$(GO) test -run=^$$ -bench '$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_latest.txt
 	$(GO) run ./cmd/stat4-bench $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_$(BENCHN).json bench_latest.txt
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
-# regressions in the parser round-trip, sqrt invariants, and the compiled-plan
-# vs tree-walker equivalence without stalling CI.
+# regressions in the parser round-trip, sqrt invariants, the compiled-plan
+# vs tree-walker equivalence, and the wheel-vs-heap scheduler equivalence
+# without stalling CI.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSqrtApprox -fuzztime=$(FUZZTIME) ./internal/intstat/
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -run=^$$ -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/stat4p4/
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) ./internal/p4/
+	$(GO) test -run=^$$ -fuzz=FuzzSchedulerEquivalence -fuzztime=$(FUZZTIME) ./internal/netem/
 
 # metrics-smoke replays a small synthetic capture with telemetry attached and
 # asserts the Prometheus-style exposition parses (integer-only, quantiles from

@@ -12,26 +12,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 
 	"stat4/internal/experiments"
+	"stat4/internal/netem"
 	"stat4/internal/telemetry"
 )
+
+// options carries every knob main parses from flags; run takes it whole so
+// tests drive the command through the same path as the CLI.
+type options struct {
+	runs        int
+	shift       uint
+	window      int
+	perInterval float64
+	ctrlMs      uint64
+	sweep       bool
+	seed        int64
+	sched       string
+	metrics     bool
+	metricsOut  string
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stat4-casestudy: ")
-	runs := flag.Int("runs", 5, "repetitions")
-	shift := flag.Uint("interval-shift", 23, "interval length exponent: 2^shift ns (23 ≈ 8ms)")
-	window := flag.Int("window", 100, "circular buffer length in intervals")
-	ctrlMs := flag.Uint64("ctrl-delay-ms", 400, "one-way switch-controller latency")
-	sweep := flag.Bool("sweep", false, "run the interval/window sweep instead")
-	seed := flag.Int64("seed", 1, "base seed")
-	metrics := flag.Bool("metrics", false, "print the telemetry exposition after the runs")
-	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
+	var opts options
+	flag.IntVar(&opts.runs, "runs", 5, "repetitions")
+	flag.UintVar(&opts.shift, "interval-shift", 23, "interval length exponent: 2^shift ns (23 ≈ 8ms)")
+	flag.IntVar(&opts.window, "window", 100, "circular buffer length in intervals")
+	flag.Float64Var(&opts.perInterval, "packets-per-interval", 0, "baseline packets per interval (0: experiment default)")
+	flag.Uint64Var(&opts.ctrlMs, "ctrl-delay-ms", 400, "one-way switch-controller latency")
+	flag.BoolVar(&opts.sweep, "sweep", false, "run the interval/window sweep instead")
+	flag.Int64Var(&opts.seed, "seed", 1, "base seed")
+	flag.StringVar(&opts.sched, "sched", "wheel", "simulator scheduler: wheel or heap (reference)")
+	flag.BoolVar(&opts.metrics, "metrics", false, "print the telemetry exposition after the runs")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write the telemetry snapshot as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the runs")
 	flag.Parse()
 
@@ -43,42 +63,58 @@ func main() {
 		}()
 	}
 
+	if err := run(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, opts options) error {
+	switch opts.sched {
+	case "wheel":
+		netem.DefaultSched = netem.SchedWheel
+	case "heap":
+		netem.DefaultSched = netem.SchedHeap
+	default:
+		return fmt.Errorf("unknown -sched %q (want wheel or heap)", opts.sched)
+	}
+
 	var pipeline *telemetry.Pipeline
 	var reg *telemetry.Registry
-	if *metrics || *metricsOut != "" {
+	if opts.metrics || opts.metricsOut != "" {
 		pipeline = telemetry.NewPipeline()
 		reg = telemetry.NewRegistry("stat4_casestudy")
 		pipeline.Register(reg)
 	}
 
-	if *sweep {
-		rows, err := experiments.CaseStudySweep(*runs, *seed)
+	if opts.sweep {
+		rows, err := experiments.CaseStudySweep(opts.runs, opts.seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(experiments.FormatCaseStudySweep(rows))
-		fmt.Println("\npaper: detection in the first interval after the spike in all runs;")
-		fmt.Println("pinpointing the destination typically takes 2-3 seconds")
-		return
+		fmt.Fprint(w, experiments.FormatCaseStudySweep(rows))
+		fmt.Fprintln(w, "\npaper: detection in the first interval after the spike in all runs;")
+		fmt.Fprintln(w, "pinpointing the destination typically takes 2-3 seconds")
+		return nil
 	}
 
 	firstInterval, hostCorrect := 0, 0
-	for r := 0; r < *runs; r++ {
+	for r := 0; r < opts.runs; r++ {
 		res, err := experiments.CaseStudy(experiments.CaseStudyParams{
-			IntervalShift: *shift,
-			WindowSize:    *window,
-			CtrlDelay:     *ctrlMs * 1e6,
-			Seed:          *seed + int64(r)*7919,
-			Telemetry:     pipeline,
+			IntervalShift:      opts.shift,
+			WindowSize:         opts.window,
+			PacketsPerInterval: opts.perInterval,
+			CtrlDelay:          opts.ctrlMs * 1e6,
+			Seed:               opts.seed + int64(r)*7919,
+			Telemetry:          pipeline,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("run %d: spike at %.3fs -> %v\n", r, float64(res.SpikeOnset)/1e9, res.SpikeTarget)
+		fmt.Fprintf(w, "run %d: spike at %.3fs -> %v\n", r, float64(res.SpikeOnset)/1e9, res.SpikeTarget)
 		for _, l := range res.Log {
-			fmt.Println("  ", l)
+			fmt.Fprintln(w, "  ", l)
 		}
-		fmt.Printf("   detected=%v first-interval=%v subnet-correct=%v host-correct=%v pinpoint=%.2fs\n",
+		fmt.Fprintf(w, "   detected=%v first-interval=%v subnet-correct=%v host-correct=%v pinpoint=%.2fs\n",
 			res.Detected, res.DetectionIntervalLag <= 1, res.SubnetCorrect, res.HostCorrect,
 			float64(res.PinpointNs)/1e9)
 		if res.Detected && res.DetectionIntervalLag <= 1 {
@@ -88,27 +124,28 @@ func main() {
 			hostCorrect++
 		}
 	}
-	fmt.Printf("\nsummary: %d/%d detected in the first interval, %d/%d destinations pinpointed correctly\n",
-		firstInterval, *runs, hostCorrect, *runs)
+	fmt.Fprintf(w, "\nsummary: %d/%d detected in the first interval, %d/%d destinations pinpointed correctly\n",
+		firstInterval, opts.runs, hostCorrect, opts.runs)
 
 	if reg != nil {
-		if *metrics {
-			if err := reg.WriteProm(os.Stdout); err != nil {
-				log.Fatal(err)
+		if opts.metrics {
+			if err := reg.WriteProm(w); err != nil {
+				return err
 			}
 		}
-		if *metricsOut != "" {
-			f, err := os.Create(*metricsOut)
+		if opts.metricsOut != "" {
+			f, err := os.Create(opts.metricsOut)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := reg.WriteJSON(f); err != nil {
 				f.Close()
-				log.Fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
+	return nil
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"stat4/internal/netem"
+)
+
+// TestCaseStudySchedDifferential runs the same case study under the wheel
+// and the reference heap scheduler and requires byte-identical results —
+// detection outcome, every timestamp, and the full drill-down log. The
+// second configuration's virtual duration crosses the wheel's 2^32 ns
+// horizon, so the overflow path is exercised end to end, not just in unit
+// tests.
+func TestCaseStudySchedDifferential(t *testing.T) {
+	configs := []CaseStudyParams{
+		{IntervalShift: 20, WindowSize: 20, PacketsPerInterval: 100, CtrlDelay: 50e6, Seed: 5},
+		{IntervalShift: 20, WindowSize: 20, PacketsPerInterval: 60, CtrlDelay: 600e6, Seed: 11},
+	}
+	if testing.Short() {
+		configs = configs[:1]
+	}
+	run := func(mode netem.SchedMode, params CaseStudyParams) string {
+		prev := netem.DefaultSched
+		netem.DefaultSched = mode
+		defer func() { netem.DefaultSched = prev }()
+		res, err := CaseStudy(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", res)
+	}
+	for i, params := range configs {
+		wheel := run(netem.SchedWheel, params)
+		hp := run(netem.SchedHeap, params)
+		if wheel != hp {
+			t.Fatalf("config %d: results differ across schedulers\nwheel: %s\nheap:  %s", i, wheel, hp)
+		}
+	}
+}

@@ -3,31 +3,68 @@ package netem
 import (
 	"container/heap"
 
-	"stat4/internal/p4"
 	"stat4/internal/telemetry"
-	"stat4/internal/traffic"
 )
+
+// SchedMode selects the Sim's scheduling engine.
+type SchedMode uint8
+
+const (
+	// SchedWheel is the production engine: a hierarchical timer wheel over a
+	// slab of typed, closure-free event records. Scheduling and dispatching
+	// packet, frame and digest events allocates nothing at steady state.
+	SchedWheel SchedMode = iota
+	// SchedHeap is the original container/heap engine, kept bit-for-bit as
+	// the differential reference (the ExecTree of the event loop): one
+	// interface-boxed record and one closure per event, per delivered frame
+	// copy, per drained digest. Differential tests run both modes over the
+	// same inputs and require identical dispatch order and outputs.
+	SchedHeap
+)
+
+// DefaultSched is the mode NewSim uses. Differential tests flip it to run an
+// unmodified experiment under the reference engine.
+var DefaultSched = SchedWheel
 
 // Sim is the event loop. It is single-threaded: handlers run on the caller's
 // goroutine inside Run, and may schedule further events.
 type Sim struct {
 	now   uint64
-	seq   uint64
-	queue eventQueue
+	seq   uint64 // FIFO tie-break for equal timestamps
 	steps uint64
+	mode  SchedMode
+
+	// deadline is the bound of the RunUntil in progress (^uint64(0) outside
+	// one). The stream pump reads it so a batched run never processes a
+	// packet a bounded run was not allowed to reach.
+	deadline uint64
+
+	pending int // scheduled-but-not-dispatched events, either engine
+
+	// SchedWheel state: the typed event slab (free-listed through event.next)
+	// and the timer wheel filing indices into it.
+	slab  []event
+	free  int32
+	wheel wheel
+
+	// SchedHeap state: the reference priority queue.
+	queue eventQueue
 
 	// Depth, when set, records the event-queue occupancy after each
 	// dispatched event — the simulator's own backlog observable.
 	Depth *telemetry.Hist
 }
 
-type event struct {
+// heapEvent is the reference engine's record: the handler is a closure, so
+// every schedule allocates (the closure plus the interface boxing in
+// heap.Push). The wheel engine exists to delete exactly these costs.
+type heapEvent struct {
 	at  uint64
-	seq uint64 // FIFO tie-break for equal timestamps
+	seq uint64
 	fn  func()
 }
 
-type eventQueue []event
+type eventQueue []heapEvent
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -37,26 +74,47 @@ func (q eventQueue) Less(i, j int) bool {
 	return q[i].seq < q[j].seq
 }
 func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(heapEvent)) }
 func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
-// NewSim returns an empty simulation at time zero.
-func NewSim() *Sim { return &Sim{} }
+// NewSim returns an empty simulation at time zero, using DefaultSched.
+func NewSim() *Sim { return NewSimSched(DefaultSched) }
+
+// NewSimSched returns an empty simulation at time zero with an explicit
+// scheduling engine.
+func NewSimSched(mode SchedMode) *Sim {
+	s := &Sim{mode: mode, deadline: ^uint64(0), free: -1}
+	s.wheel.reset()
+	return s
+}
+
+// Mode returns the scheduling engine this simulation runs on.
+func (s *Sim) Mode() SchedMode { return s.mode }
 
 // Now returns the current virtual time in nanoseconds.
 func (s *Sim) Now() uint64 { return s.now }
 
-// Steps returns how many events have run.
+// Steps returns how many events have run. A batched stream run counts one
+// step per packet, matching the per-packet events of the reference engine.
 func (s *Sim) Steps() uint64 { return s.steps }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past runs
 // the handler at the current time (the event fires next).
 func (s *Sim) At(t uint64, fn func()) {
-	if t < s.now {
-		t = s.now
+	if s.mode == SchedHeap {
+		if t < s.now {
+			t = s.now
+		}
+		heap.Push(&s.queue, heapEvent{at: t, seq: s.seq, fn: fn})
+		s.seq++
+		s.pending++
+		return
 	}
-	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
-	s.seq++
+	idx := s.allocEvent()
+	e := &s.slab[idx]
+	e.kind = evFn
+	e.fn = fn
+	s.schedule(t, idx)
 }
 
 // After schedules fn d nanoseconds from now.
@@ -75,169 +133,47 @@ func (s *Sim) RunUntil(deadline uint64) {
 	if deadline < s.now {
 		deadline = s.now
 	}
-	for len(s.queue) > 0 {
-		if s.queue[0].at > deadline {
-			break
-		}
-		e := heap.Pop(&s.queue).(event)
-		s.now = e.at
-		s.steps++
-		if s.Depth != nil {
-			s.Depth.Observe(uint64(len(s.queue)))
-		}
-		e.fn()
+	prev := s.deadline
+	s.deadline = deadline
+	if s.mode == SchedHeap {
+		s.runHeap(deadline)
+	} else {
+		s.runWheel(deadline)
 	}
+	s.deadline = prev
 	if deadline != ^uint64(0) && s.now < deadline {
 		s.now = deadline
 	}
 }
 
-// SwitchNode runs a p4.Switch inside the simulation: injected packets are
-// processed at their timestamps, output frames are delivered to connected
-// ports after their link delay, and digests reach the controller handler
-// after the control-channel delay — the push arrow of Figure 1c.
-//
-// Attach-handler-before-inject contract: digests are drained from the switch
-// after every processed packet, so OnDigest (and any Connect receivers) must
-// be in place before the first Inject/InjectFrame/InjectStream call. Digests
-// drained while OnDigest is nil are dropped — counted by DroppedDigests and
-// the telemetry snapshot, never silently — and frames emitted on ports with
-// no connected link are likewise counted by UnroutedFrames.
-type SwitchNode struct {
-	Sim *Sim
-	SW  *p4.Switch
-
-	// CtrlDelay is the one-way switch→controller latency.
-	CtrlDelay uint64
-	// OnDigest receives each digest at its controller arrival time. Set it
-	// before injecting traffic (see the contract above).
-	OnDigest func(now uint64, d p4.Digest)
-
-	// Metrics, when set, records the node's channel observables: frame
-	// inject→deliver latency, digest control-channel latency, digest-queue
-	// occupancy at drain, and the drop counters.
-	Metrics *telemetry.NodeMetrics
-
-	ports map[uint16]portLink
-
-	droppedDigests uint64
-	unroutedFrames uint64
-}
-
-type portLink struct {
-	delay   uint64
-	deliver func(now uint64, data []byte)
-}
-
-// NewSwitchNode wires a switch into a simulation.
-func NewSwitchNode(sim *Sim, sw *p4.Switch, ctrlDelay uint64) *SwitchNode {
-	return &SwitchNode{Sim: sim, SW: sw, CtrlDelay: ctrlDelay, ports: make(map[uint16]portLink)}
-}
-
-// Connect attaches a receiver to an egress port over a link with the given
-// delay.
-func (n *SwitchNode) Connect(port uint16, delay uint64, deliver func(now uint64, data []byte)) {
-	n.ports[port] = portLink{delay: delay, deliver: deliver}
-}
-
-// DroppedDigests returns how many digests were drained while no OnDigest
-// handler was attached. A nonzero value almost always means a handler was
-// attached after traffic had already been injected.
-func (n *SwitchNode) DroppedDigests() uint64 { return n.droppedDigests }
-
-// UnroutedFrames returns how many output frames were discarded because
-// their egress port had no connected link.
-func (n *SwitchNode) UnroutedFrames() uint64 { return n.unroutedFrames }
-
-// Inject schedules one packet for processing at ts on the given ingress
-// port.
-func (n *SwitchNode) Inject(ts uint64, port uint16, pkt traffic.Pkt) {
-	n.Sim.At(ts, func() {
-		n.route(n.SW.ProcessPacket(n.Sim.Now(), port, pkt.Frame))
-	})
-}
-
-// InjectFrame processes raw frame bytes immediately (at the current virtual
-// time) on the given ingress port, routing outputs over connected links —
-// what a frame arriving on a wire from another node does.
-func (n *SwitchNode) InjectFrame(port uint16, data []byte) {
-	n.route(n.SW.ProcessFrame(n.Sim.Now(), port, data))
-}
-
-// route delivers switch outputs over connected links and forwards digests.
-func (n *SwitchNode) route(outs []p4.FrameOut) {
-	n.drainDigests()
-	processedAt := n.Sim.Now()
-	for _, out := range outs {
-		link, ok := n.ports[out.Port]
-		if !ok {
-			n.unroutedFrames++
-			if n.Metrics != nil {
-				n.Metrics.UnroutedFrames.Inc()
-			}
-			continue
+func (s *Sim) runHeap(deadline uint64) {
+	for len(s.queue) > 0 {
+		if s.queue[0].at > deadline {
+			break
 		}
-		// Copy: out.Data aliases the switch's deparse buffer, which is
-		// reused on the next frame, while delivery happens link.delay later.
-		// Instrumentation hooks obey the same lifetime rule: anything they
-		// want from the frame must be recorded before this handler returns.
-		data := append([]byte(nil), out.Data...)
-		n.Sim.After(link.delay, func() {
-			now := n.Sim.Now()
-			if n.Metrics != nil {
-				n.Metrics.FrameLatency.Observe(now - processedAt)
-			}
-			link.deliver(now, data)
-		})
+		e := heap.Pop(&s.queue).(heapEvent)
+		s.now = e.at
+		s.steps++
+		s.pending--
+		if s.Depth != nil {
+			s.Depth.Observe(uint64(s.pending))
+		}
+		e.fn()
 	}
 }
 
-// InjectStream feeds a whole traffic stream through the switch lazily: each
-// event schedules the next, so streams of millions of packets don't
-// materialise in memory.
-func (n *SwitchNode) InjectStream(st traffic.Stream, port uint16) {
-	var pump func()
-	pump = func() {
-		p, ok := st.Next()
-		if !ok {
-			return
-		}
-		n.Sim.At(p.TsNs, func() {
-			n.route(n.SW.ProcessPacket(n.Sim.Now(), port, p.Frame))
-			pump()
-		})
-	}
-	pump()
-}
-
-// drainDigests moves digests produced by the last packet onto the simulated
-// control channel. Digests drained with no handler attached are counted,
-// not silently discarded (see the SwitchNode contract).
-func (n *SwitchNode) drainDigests() {
+func (s *Sim) runWheel(deadline uint64) {
 	for {
-		select {
-		case d := <-n.SW.Digests():
-			if n.OnDigest == nil {
-				n.droppedDigests++
-				if n.Metrics != nil {
-					n.Metrics.DroppedDigests.Inc()
-				}
-				continue
-			}
-			if n.Metrics != nil {
-				n.Metrics.DigestQueue.Observe(uint64(len(n.SW.Digests())))
-			}
-			dg := d
-			drainedAt := n.Sim.Now()
-			n.Sim.After(n.CtrlDelay, func() {
-				now := n.Sim.Now()
-				if n.Metrics != nil {
-					n.Metrics.CtrlLatency.Observe(now - drainedAt)
-				}
-				n.OnDigest(now, dg)
-			})
-		default:
+		idx := s.wheelPop(deadline)
+		if idx < 0 {
 			return
 		}
+		s.now = s.slab[idx].at
+		s.steps++
+		s.pending--
+		if s.Depth != nil {
+			s.Depth.Observe(uint64(s.pending))
+		}
+		s.dispatch(idx)
 	}
 }

@@ -1,0 +1,294 @@
+package netem
+
+import (
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/telemetry"
+	"stat4/internal/traffic"
+)
+
+// pipeline is the slice of the switch API a topology node drives: both
+// *p4.Switch and *p4.ShardedSwitch satisfy it.
+type pipeline interface {
+	ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) []p4.FrameOut
+	ProcessFrame(tsNs uint64, inPort uint16, data []byte) []p4.FrameOut
+}
+
+// portLink is one connected egress link.
+type portLink struct {
+	delay   uint64
+	deliver func(now uint64, data []byte)
+}
+
+// nodeCore is the engine shared by SwitchNode and ShardedSwitchNode: packet
+// and stream injection, link routing with pooled frame buffers, and digest
+// forwarding onto the simulated control channel. Under SchedWheel it drives
+// the typed-event machinery (frame pool, batched stream pump, direct digest
+// sink); under SchedHeap it reproduces the original closure-per-event
+// engine, byte for byte, as the differential reference.
+type nodeCore struct {
+	Sim *Sim
+
+	// CtrlDelay is the one-way switch→controller latency.
+	CtrlDelay uint64
+	// OnDigest receives each digest at its controller arrival time. Set it
+	// before injecting traffic (see the SwitchNode contract).
+	OnDigest func(now uint64, d p4.Digest)
+
+	// Metrics, when set, records the node's channel observables: frame
+	// inject→deliver latency, digest control-channel latency, digest-queue
+	// occupancy at drain, and the drop counters.
+	Metrics *telemetry.NodeMetrics
+
+	proc  pipeline
+	ports map[uint16]*portLink
+
+	// digests is the switch's channel. SchedHeap drains it on every route;
+	// SchedWheel only consults it while chanBacklog is set, to pick up
+	// digests emitted before the node (and its sink) existed.
+	digests     <-chan p4.Digest
+	chanBacklog bool
+
+	// sinkBuf accumulates digests handed over synchronously by the switch's
+	// digest sink during Process* calls (SchedWheel only).
+	sinkBuf []p4.Digest
+
+	// pool holds link-lifetime frame buffers: grabbed when a frame is
+	// scheduled, returned after its deliver callback finishes.
+	pool [][]byte
+
+	droppedDigests uint64
+	unroutedFrames uint64
+}
+
+func (n *nodeCore) init(sim *Sim, proc pipeline, digests <-chan p4.Digest, ctrlDelay uint64) {
+	n.Sim = sim
+	n.CtrlDelay = ctrlDelay
+	n.proc = proc
+	n.ports = make(map[uint16]*portLink)
+	n.digests = digests
+	// Digests emitted before this node existed sit in the channel, not the
+	// sink; drain them on the first routes like the reference engine does.
+	n.chanBacklog = len(digests) > 0
+}
+
+// digestSink receives digests synchronously from the data-plane goroutine
+// during Process* calls; route moves them onto the control channel after the
+// call returns.
+func (n *nodeCore) digestSink(d p4.Digest) { n.sinkBuf = append(n.sinkBuf, d) }
+
+// Connect attaches a receiver to an egress port over a link with the given
+// delay. Delivered frame bytes are only valid until deliver returns — the
+// buffer goes back to the node's pool (see the package doc).
+func (n *nodeCore) Connect(port uint16, delay uint64, deliver func(now uint64, data []byte)) {
+	n.ports[port] = &portLink{delay: delay, deliver: deliver}
+}
+
+// DroppedDigests returns how many digests were drained while no OnDigest
+// handler was attached. A nonzero value almost always means a handler was
+// attached after traffic had already been injected.
+func (n *nodeCore) DroppedDigests() uint64 { return n.droppedDigests }
+
+// UnroutedFrames returns how many output frames were discarded because
+// their egress port had no connected link.
+func (n *nodeCore) UnroutedFrames() uint64 { return n.unroutedFrames }
+
+// Inject schedules one packet for processing at ts on the given ingress
+// port.
+func (n *nodeCore) Inject(ts uint64, port uint16, pkt traffic.Pkt) {
+	if n.Sim.mode == SchedHeap {
+		n.Sim.At(ts, func() {
+			n.route(n.proc.ProcessPacket(n.Sim.Now(), port, pkt.Frame))
+		})
+		return
+	}
+	n.Sim.schedulePacket(n, ts, port, pkt.Frame)
+}
+
+// InjectFrame processes raw frame bytes immediately (at the current virtual
+// time) on the given ingress port, routing outputs over connected links —
+// what a frame arriving on a wire from another node does.
+func (n *nodeCore) InjectFrame(port uint16, data []byte) {
+	n.route(n.proc.ProcessFrame(n.Sim.Now(), port, data))
+}
+
+// InjectStream feeds a whole traffic stream through the switch lazily, so
+// streams of millions of packets don't materialise in memory. Under
+// SchedWheel one pump event carries the stream and processes runs of
+// packets in-line while no other event is due between them — the clock
+// still advances to every packet's timestamp, and a packet whose timestamp
+// ties another event keeps the order per-packet events would have had,
+// because the pump reschedules at exactly the instant (and with a later
+// sequence number than any event scheduled while processing) that the
+// reference engine would have scheduled that packet's own event.
+func (n *nodeCore) InjectStream(st traffic.Stream, port uint16) {
+	if n.Sim.mode == SchedHeap {
+		var pump func()
+		pump = func() {
+			p, ok := st.Next()
+			if !ok {
+				return
+			}
+			n.Sim.At(p.TsNs, func() {
+				n.route(n.proc.ProcessPacket(n.Sim.Now(), port, p.Frame))
+				pump()
+			})
+		}
+		pump()
+		return
+	}
+	p, ok := st.Next()
+	if !ok {
+		return
+	}
+	n.Sim.schedulePump(n, st, port, p)
+}
+
+// pumpRun is the evPump handler: process the pending packet at the current
+// time, then keep pulling packets while the next one is due strictly before
+// every other pending event and within the active RunUntil deadline.
+func (n *nodeCore) pumpRun(st traffic.Stream, port uint16, p traffic.Pkt) {
+	s := n.Sim
+	for {
+		n.route(n.proc.ProcessPacket(s.now, port, p.Frame))
+		next, ok := st.Next()
+		if !ok {
+			return
+		}
+		if next.TsNs < s.now {
+			next.TsNs = s.now
+		}
+		if next.TsNs > s.deadline || next.TsNs >= s.nextPendingLB() {
+			s.schedulePump(n, st, port, next)
+			return
+		}
+		// The in-line continuation is indistinguishable from dispatching the
+		// packet's own event: advance the clock and the step count exactly as
+		// runWheel would have.
+		s.now = next.TsNs
+		s.steps++
+		p = next
+	}
+}
+
+// grabFrame copies frame bytes into a pooled link-lifetime buffer.
+func (n *nodeCore) grabFrame(data []byte) []byte {
+	var buf []byte
+	if k := len(n.pool); k > 0 {
+		buf = n.pool[k-1]
+		n.pool = n.pool[:k-1]
+	}
+	return append(buf[:0], data...)
+}
+
+func (n *nodeCore) releaseFrame(buf []byte) { n.pool = append(n.pool, buf) }
+
+// route delivers switch outputs over connected links and forwards digests.
+func (n *nodeCore) route(outs []p4.FrameOut) {
+	n.drainDigests()
+	processedAt := n.Sim.Now()
+	for _, out := range outs {
+		link, ok := n.ports[out.Port]
+		if !ok {
+			n.unroutedFrames++
+			if n.Metrics != nil {
+				n.Metrics.UnroutedFrames.Inc()
+			}
+			continue
+		}
+		if n.Sim.mode == SchedHeap {
+			// Reference engine: a fresh copy and a closure per delivery.
+			// out.Data aliases the switch's deparse buffer, which is reused
+			// on the next frame, while delivery happens link.delay later.
+			data := append([]byte(nil), out.Data...)
+			n.Sim.After(link.delay, func() {
+				now := n.Sim.Now()
+				if n.Metrics != nil {
+					n.Metrics.FrameLatency.Observe(now - processedAt)
+				}
+				link.deliver(now, data)
+			})
+			continue
+		}
+		// Same copy, into a pooled buffer that comes back after delivery.
+		n.Sim.scheduleFrame(n, link, processedAt, n.grabFrame(out.Data))
+	}
+}
+
+// drainDigests moves digests produced by the last packet onto the simulated
+// control channel. Digests drained with no handler attached are counted,
+// not silently discarded (see the SwitchNode contract).
+func (n *nodeCore) drainDigests() {
+	if n.Sim.mode == SchedHeap {
+		n.drainDigestChannel()
+		return
+	}
+	if n.chanBacklog {
+		n.drainDigestChannel()
+		n.chanBacklog = false
+	}
+	buf := n.sinkBuf
+	if len(buf) == 0 {
+		return
+	}
+	n.sinkBuf = buf[:0]
+	drainedAt := n.Sim.Now()
+	for i, d := range buf {
+		if n.OnDigest == nil {
+			n.droppedDigests++
+			if n.Metrics != nil {
+				n.Metrics.DroppedDigests.Inc()
+			}
+			continue
+		}
+		if n.Metrics != nil {
+			// Occupancy before this receive: the digest being popped counts.
+			n.Metrics.DigestQueue.Observe(uint64(len(buf) - i))
+		}
+		n.Sim.scheduleDigest(n, drainedAt, d)
+	}
+}
+
+// drainDigestChannel is the channel-backed drain: the only path under
+// SchedHeap, and the backlog catch-up under SchedWheel.
+func (n *nodeCore) drainDigestChannel() {
+	for {
+		if n.OnDigest == nil {
+			select {
+			case <-n.digests:
+				n.droppedDigests++
+				if n.Metrics != nil {
+					n.Metrics.DroppedDigests.Inc()
+				}
+				continue
+			default:
+				return
+			}
+		}
+		// Occupancy before the receive: the digest being popped counts. (The
+		// simulation is single-threaded, so nothing enqueues between the len
+		// and the receive.)
+		q := uint64(len(n.digests))
+		select {
+		case d := <-n.digests:
+			if n.Metrics != nil {
+				n.Metrics.DigestQueue.Observe(q)
+			}
+			if n.Sim.mode == SchedHeap {
+				dg := d
+				drainedAt := n.Sim.Now()
+				n.Sim.After(n.CtrlDelay, func() {
+					now := n.Sim.Now()
+					if n.Metrics != nil {
+						n.Metrics.CtrlLatency.Observe(now - drainedAt)
+					}
+					n.OnDigest(now, dg)
+				})
+			} else {
+				n.Sim.scheduleDigest(n, n.Sim.Now(), d)
+			}
+		default:
+			return
+		}
+	}
+}

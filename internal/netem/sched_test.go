@@ -1,0 +1,298 @@
+package netem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+	"stat4/internal/telemetry"
+	"stat4/internal/traffic"
+)
+
+// runSchedScript interprets a byte string as a deterministic sequence of
+// At/After/RunUntil operations against a fresh Sim of the given mode and
+// returns the dispatch trace (event id @ dispatch time), final clock and
+// step count. Every third handler schedules a child event, so the script
+// also exercises scheduling from inside handlers (including zero-delay
+// children that tie the current instant).
+func runSchedScript(mode SchedMode, data []byte) (trace []string, now, steps uint64) {
+	s := NewSimSched(mode)
+	id := 0
+	var rec func(i int) func()
+	rec = func(i int) func() {
+		return func() {
+			trace = append(trace, fmt.Sprintf("%d@%d", i, s.Now()))
+			if i%3 == 0 {
+				id++
+				s.After(uint64(i%7)*13, rec(id))
+			}
+		}
+	}
+	for len(data) >= 6 {
+		op := data[0]
+		t := uint64(binary.LittleEndian.Uint32(data[1:5]))
+		switch data[5] % 3 {
+		case 0:
+			// Dense: force equal-time collisions (FIFO tie-breaks).
+			t %= 1 << 10
+		case 1:
+			// Mid-range: within the wheel horizon, spread across levels.
+		case 2:
+			// Far: cross wheel levels and the 2^32 overflow boundary.
+			t <<= 14
+		}
+		data = data[6:]
+		switch op % 3 {
+		case 0:
+			id++
+			s.At(t, rec(id))
+		case 1:
+			id++
+			s.After(t, rec(id))
+		case 2:
+			s.RunUntil(t)
+		}
+	}
+	s.Run()
+	return trace, s.Now(), s.Steps()
+}
+
+func diffSchedScript(t *testing.T, data []byte) {
+	t.Helper()
+	wTrace, wNow, wSteps := runSchedScript(SchedWheel, data)
+	hTrace, hNow, hSteps := runSchedScript(SchedHeap, data)
+	if len(wTrace) != len(hTrace) {
+		t.Fatalf("dispatch counts differ: wheel %d, heap %d", len(wTrace), len(hTrace))
+	}
+	for i := range wTrace {
+		if wTrace[i] != hTrace[i] {
+			t.Fatalf("dispatch %d differs: wheel %s, heap %s", i, wTrace[i], hTrace[i])
+		}
+	}
+	if wNow != hNow {
+		t.Fatalf("final clock differs: wheel %d, heap %d", wNow, hNow)
+	}
+	if wSteps != hSteps {
+		t.Fatalf("steps differ: wheel %d, heap %d", wSteps, hSteps)
+	}
+}
+
+// TestSchedulerEquivalenceRandom runs seeded random operation scripts under
+// both engines and requires identical dispatch order (including equal-time
+// FIFO), final clock and step counts.
+func TestSchedulerEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 6*(1+rng.Intn(120)))
+		rng.Read(data)
+		diffSchedScript(t, data)
+	}
+}
+
+// TestSchedulerEquivalenceTargeted pins hand-picked corner scripts: bursts
+// of equal timestamps, RunUntil clamps (earlier deadlines, past
+// scheduling), and timestamps beyond the wheel's 2^32 horizon in several
+// distinct far blocks.
+func TestSchedulerEquivalenceTargeted(t *testing.T) {
+	mk := func(ops ...[3]uint64) []byte {
+		var data []byte
+		for _, op := range ops {
+			var b [6]byte
+			b[0] = byte(op[0])
+			binary.LittleEndian.PutUint32(b[1:5], uint32(op[1]))
+			b[5] = byte(op[2])
+			data = append(data, b[:]...)
+		}
+		return data
+	}
+	cases := [][3]uint64{}
+	// Equal-time burst at three instants.
+	for i := 0; i < 12; i++ {
+		cases = append(cases, [3]uint64{0, uint64(i % 3 * 100), 0})
+	}
+	// Far timestamps: distinct 2^32 blocks via the <<14 scaling.
+	cases = append(cases,
+		[3]uint64{0, 1 << 20, 2}, // 2^34
+		[3]uint64{0, 5 << 20, 2}, // later block
+		[3]uint64{2, 900, 0},     // RunUntil mid-burst
+		[3]uint64{2, 10, 0},      // earlier deadline: clamps, must not rewind
+		[3]uint64{0, 50, 0},      // now in the past: clamps to the clock
+		[3]uint64{1, 300, 0},     // relative schedule after clamping
+		[3]uint64{2, 1 << 26, 1}, // deadline between the far blocks
+	)
+	diffSchedScript(t, mk(cases...))
+}
+
+// TestWheelCrossWindowInsertAfterBoundedRun pins the cursor invariant: a
+// bounded run that stops at a deadline inside a drained window must leave
+// the wheel able to file later insertions that precede already-pending
+// far events. A cursor advanced too far would misfile them.
+func TestWheelCrossWindowInsertAfterBoundedRun(t *testing.T) {
+	s := NewSimSched(SchedWheel)
+	var got []uint64
+	add := func(at uint64) { s.At(at, func() { got = append(got, at) }) }
+	add(5)
+	add(70_000) // level-2 territory relative to the cursor
+	s.RunUntil(65_600)
+	// The pending 70 000 event's bucket was (partly) cascaded; these now sit
+	// between the deadline and it.
+	add(65_700)
+	add(66_000)
+	s.Run()
+	want := []uint64{5, 65_700, 66_000, 70_000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// FuzzSchedulerEquivalence drives both engines with the same fuzzed
+// operation script and requires identical dispatch order and final clock —
+// the event-loop analogue of the compiled-datapath FuzzDifferential.
+func FuzzSchedulerEquivalence(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 0, 0, 0, 10, 0, 0, 0, 0, 2, 5, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 2, 0, 255, 255, 255, 255, 2, 2, 0, 0, 1, 0, 1})
+	rng := rand.New(rand.NewSource(99))
+	seed := make([]byte, 90)
+	rng.Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 6*512 {
+			data = data[:6*512]
+		}
+		diffSchedScript(t, data)
+	})
+}
+
+// buildStreamNode builds the end-to-end fixture of TestSwitchNodeEndToEnd
+// under an explicit scheduler mode and returns its full observable trace.
+func runStreamTrace(t *testing.T, mode SchedMode, shards int) []string {
+	t.Helper()
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1})
+	const intShift = 10
+	sim := NewSimSched(mode)
+	var trace []string
+	onDigest := func(now uint64, d p4.Digest) {
+		trace = append(trace, fmt.Sprintf("digest@%d id=%d vals=%v", now, d.ID, d.Values))
+	}
+	deliver := func(now uint64, data []byte) {
+		trace = append(trace, fmt.Sprintf("frame@%d len=%d b0=%d", now, len(data), data[0]))
+	}
+
+	dest := []packet.IP4{packet.ParseIP4(10, 0, 0, 1)}
+	load := &traffic.LoadBalanced{Dests: dest, Rate: 20e6, End: 40 << intShift, Seed: 1, Jitter: 0.2}
+	spike := &traffic.Spike{Dest: dest[0], Rate: 300e6, Start: 30 << intShift, End: 40 << intShift, Seed: 2, Jitter: 0.2}
+	st := traffic.Merge(load, spike)
+
+	if shards > 1 {
+		sr, err := stat4p4.NewShardedRuntime(lib, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sr.Close()
+		if _, err := sr.BindWindow(0, 0, stat4p4.AllIPv4(), intShift, 8, 2); err != nil {
+			t.Fatal(err)
+		}
+		node := NewShardedSwitchNode(sim, sr.Sharded(), 500)
+		node.OnDigest = onDigest
+		node.Connect(0, 100, deliver)
+		node.InjectStream(st, 1)
+	} else {
+		rt, err := stat4p4.NewRuntime(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.BindWindow(0, 0, stat4p4.AllIPv4(), intShift, 8, 2); err != nil {
+			t.Fatal(err)
+		}
+		node := NewSwitchNode(sim, rt.Switch(), 500)
+		node.OnDigest = onDigest
+		node.Connect(0, 100, deliver)
+		node.InjectStream(st, 1)
+	}
+	sim.Run()
+	trace = append(trace, fmt.Sprintf("end@%d steps=%d", sim.Now(), sim.Steps()))
+	return trace
+}
+
+// TestInjectStreamBatchedEquivalence pins the batched pump against the
+// reference per-packet-event engine: same stream, same digests at the same
+// controller arrival times, same frame deliveries, same final clock and
+// step count — for the plain switch and a sharded node.
+func TestInjectStreamBatchedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		wheel := runStreamTrace(t, SchedWheel, shards)
+		hp := runStreamTrace(t, SchedHeap, shards)
+		if len(wheel) != len(hp) {
+			t.Fatalf("shards=%d: trace lengths differ: wheel %d, heap %d", shards, len(wheel), len(hp))
+		}
+		for i := range wheel {
+			if wheel[i] != hp[i] {
+				t.Fatalf("shards=%d: trace %d differs:\nwheel: %s\nheap:  %s", shards, i, wheel[i], hp[i])
+			}
+		}
+	}
+}
+
+// TestDigestQueueObservedBeforeReceive is the regression test for the
+// drain-time occupancy observable: the digest being popped still counts, so
+// draining a backlog of 3 must record samples {3,2,1} — never {2,1,0}.
+func TestDigestQueueObservedBeforeReceive(t *testing.T) {
+	for _, mode := range []SchedMode{SchedWheel, SchedHeap} {
+		sim := NewSimSched(mode)
+		ch := make(chan p4.Digest, 8)
+		n := &SwitchNode{}
+		n.init(sim, nil, ch, 10)
+		n.Metrics = telemetry.NewNodeMetrics()
+		n.OnDigest = func(now uint64, d p4.Digest) {}
+
+		if mode == SchedHeap {
+			for i := 0; i < 3; i++ {
+				ch <- p4.Digest{ID: i}
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				n.digestSink(p4.Digest{ID: i})
+			}
+		}
+		n.drainDigests()
+
+		q := n.Metrics.DigestQueue
+		if q.Count() != 3 {
+			t.Fatalf("mode=%d: %d occupancy samples, want 3", mode, q.Count())
+		}
+		if q.Max() != 3 || q.Min() != 1 {
+			t.Fatalf("mode=%d: occupancy range [%d,%d], want [1,3] (popped digest must count)",
+				mode, q.Min(), q.Max())
+		}
+		if q.Sum() != 6 {
+			t.Fatalf("mode=%d: occupancy sum %d, want 3+2+1", mode, q.Sum())
+		}
+	}
+}
+
+// TestWheelDigestBacklogFromChannel covers the catch-up path: digests
+// emitted before the node (and its sink) existed sit in the switch channel
+// and must still reach the controller under the wheel engine.
+func TestWheelDigestBacklogFromChannel(t *testing.T) {
+	sim := NewSimSched(SchedWheel)
+	ch := make(chan p4.Digest, 8)
+	ch <- p4.Digest{ID: 7}
+	n := &SwitchNode{}
+	n.init(sim, nil, ch, 10)
+	var got []int
+	n.OnDigest = func(now uint64, d p4.Digest) { got = append(got, d.ID) }
+	n.drainDigests()
+	sim.Run()
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("backlogged digest not delivered: %v", got)
+	}
+}

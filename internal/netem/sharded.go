@@ -1,10 +1,6 @@
 package netem
 
-import (
-	"stat4/internal/p4"
-	"stat4/internal/telemetry"
-	"stat4/internal/traffic"
-)
+import "stat4/internal/p4"
 
 // ShardedSwitchNode runs a p4.ShardedSwitch inside the simulation — a
 // multi-pipeline switch as one topology node. Injected packets are
@@ -19,133 +15,25 @@ import (
 // single-threaded — shard workers only run during ProcessBatch, which this
 // node never uses; per-event dispatch processes each packet synchronously on
 // its shard.
+//
+// Metrics here are chassis-level: one control channel and one set of links
+// serve all shards, so the node meters them as a unit (per-shard datapath
+// metrics attach to the shards' switch observers instead). All shards share
+// the port space, as pipelines share a chassis.
 type ShardedSwitchNode struct {
-	Sim *Sim
-	SW  *p4.ShardedSwitch
-
-	// CtrlDelay is the one-way switch→controller latency.
-	CtrlDelay uint64
-	// OnDigest receives each digest at its controller arrival time. Digests
-	// carry no shard identity — like a real multi-pipe switch, the fleet
-	// reports through one control channel.
-	OnDigest func(now uint64, d p4.Digest)
-
-	// Metrics, when set, records the node's channel observables. They are
-	// chassis-level: one control channel and one set of links serve all
-	// shards, so the node meters them as a unit (per-shard datapath metrics
-	// attach to the shards' switch observers instead).
-	Metrics *telemetry.NodeMetrics
-
-	ports map[uint16]portLink
-
-	droppedDigests uint64
-	unroutedFrames uint64
+	nodeCore
+	SW *p4.ShardedSwitch
 }
 
-// NewShardedSwitchNode wires a sharded switch into a simulation.
+// NewShardedSwitchNode wires a sharded switch into a simulation. Under the
+// wheel engine it installs a fleet-level digest sink, bypassing the merged
+// mailbox channel; anything else reading sw.Digests() directly will no
+// longer see forwarded digests.
 func NewShardedSwitchNode(sim *Sim, sw *p4.ShardedSwitch, ctrlDelay uint64) *ShardedSwitchNode {
-	return &ShardedSwitchNode{Sim: sim, SW: sw, CtrlDelay: ctrlDelay, ports: make(map[uint16]portLink)}
-}
-
-// Connect attaches a receiver to an egress port over a link with the given
-// delay. All shards share the port space, as pipelines share a chassis.
-func (n *ShardedSwitchNode) Connect(port uint16, delay uint64, deliver func(now uint64, data []byte)) {
-	n.ports[port] = portLink{delay: delay, deliver: deliver}
-}
-
-// DroppedDigests returns how many digests were drained while no OnDigest
-// handler was attached.
-func (n *ShardedSwitchNode) DroppedDigests() uint64 { return n.droppedDigests }
-
-// UnroutedFrames returns how many output frames were discarded because
-// their egress port had no connected link.
-func (n *ShardedSwitchNode) UnroutedFrames() uint64 { return n.unroutedFrames }
-
-// Inject schedules one packet for processing at ts on the given ingress
-// port; the dispatcher picks the shard when the event fires.
-func (n *ShardedSwitchNode) Inject(ts uint64, port uint16, pkt traffic.Pkt) {
-	n.Sim.At(ts, func() {
-		n.route(n.SW.ProcessPacket(n.Sim.Now(), port, pkt.Frame))
-	})
-}
-
-// InjectFrame processes raw frame bytes immediately (at the current virtual
-// time) on the given ingress port.
-func (n *ShardedSwitchNode) InjectFrame(port uint16, data []byte) {
-	n.route(n.SW.ProcessFrame(n.Sim.Now(), port, data))
-}
-
-// InjectStream feeds a whole traffic stream through the dispatcher lazily,
-// one scheduled event per packet.
-func (n *ShardedSwitchNode) InjectStream(st traffic.Stream, port uint16) {
-	var pump func()
-	pump = func() {
-		p, ok := st.Next()
-		if !ok {
-			return
-		}
-		n.Sim.At(p.TsNs, func() {
-			n.route(n.SW.ProcessPacket(n.Sim.Now(), port, p.Frame))
-			pump()
-		})
+	n := &ShardedSwitchNode{SW: sw}
+	n.init(sim, sw, sw.Digests(), ctrlDelay)
+	if sim.mode != SchedHeap {
+		sw.SetDigestSink(n.digestSink)
 	}
-	pump()
-}
-
-// route delivers switch outputs over connected links and forwards digests.
-func (n *ShardedSwitchNode) route(outs []p4.FrameOut) {
-	n.drainDigests()
-	processedAt := n.Sim.Now()
-	for _, out := range outs {
-		link, ok := n.ports[out.Port]
-		if !ok {
-			n.unroutedFrames++
-			if n.Metrics != nil {
-				n.Metrics.UnroutedFrames.Inc()
-			}
-			continue
-		}
-		// Copy: out.Data aliases the owning shard's deparse buffer, reused on
-		// that shard's next frame, while delivery happens link.delay later.
-		data := append([]byte(nil), out.Data...)
-		n.Sim.After(link.delay, func() {
-			now := n.Sim.Now()
-			if n.Metrics != nil {
-				n.Metrics.FrameLatency.Observe(now - processedAt)
-			}
-			link.deliver(now, data)
-		})
-	}
-}
-
-// drainDigests moves digests produced by the last packet — already forwarded
-// from the owning shard onto the fleet channel — onto the simulated control
-// channel.
-func (n *ShardedSwitchNode) drainDigests() {
-	for {
-		select {
-		case d := <-n.SW.Digests():
-			if n.OnDigest == nil {
-				n.droppedDigests++
-				if n.Metrics != nil {
-					n.Metrics.DroppedDigests.Inc()
-				}
-				continue
-			}
-			if n.Metrics != nil {
-				n.Metrics.DigestQueue.Observe(uint64(len(n.SW.Digests())))
-			}
-			dg := d
-			drainedAt := n.Sim.Now()
-			n.Sim.After(n.CtrlDelay, func() {
-				now := n.Sim.Now()
-				if n.Metrics != nil {
-					n.Metrics.CtrlLatency.Observe(now - drainedAt)
-				}
-				n.OnDigest(now, dg)
-			})
-		default:
-			return
-		}
-	}
+	return n
 }

@@ -39,6 +39,8 @@ type ShardedSwitch struct {
 	work  []chan struct{}
 	wg    sync.WaitGroup
 
+	sink func(Digest) // direct fleet-level receiver, replaces the merged mailbox
+
 	digestDrops atomic.Uint64 // lost forwarding to the merged mailbox
 	closed      bool
 }
@@ -137,6 +139,15 @@ func (ss *ShardedSwitch) Program() *Program { return ss.prog }
 // shard's digests into it in shard-index order after the concurrent phase;
 // the serial Process* paths forward eagerly.
 func (ss *ShardedSwitch) Digests() <-chan Digest { return ss.digests }
+
+// SetDigestSink installs a direct fleet-level digest receiver: digests
+// forwarded from the shards are handed to the sink instead of the merged
+// mailbox, with no channel operations or capacity drops on the forwarding
+// side. The sink runs on whichever goroutine forwards — the caller's for
+// every Process* entry point, since forwarding happens in the reduce phase,
+// never on a shard worker. Install it before processing traffic; nil
+// detaches and restores the mailbox path.
+func (ss *ShardedSwitch) SetDigestSink(sink func(Digest)) { ss.sink = sink }
 
 // ShardOf returns the shard index the dispatcher steers a raw frame to.
 //
@@ -292,6 +303,10 @@ func (ss *ShardedSwitch) forwardDigests(sw *Switch) {
 	for {
 		select {
 		case d := <-sw.digests:
+			if ss.sink != nil {
+				ss.sink(d)
+				continue
+			}
 			select {
 			case ss.digests <- d:
 			default:

@@ -156,6 +156,7 @@ type Switch struct {
 	regs     map[string]*Register
 	tables   map[string]*table
 	digests  chan Digest
+	sink     func(Digest)
 	deparser Deparser
 
 	// plan is the compiled execution plan; mode picks it or the reference
@@ -222,6 +223,17 @@ func (sw *Switch) SetObserver(o Observer) { sw.obs = o }
 
 // Digests returns the channel carrying data-plane alerts.
 func (sw *Switch) Digests() <-chan Digest { return sw.digests }
+
+// SetDigestSink installs a direct digest receiver: with a sink attached,
+// sendDigest calls it synchronously from the data-plane goroutine instead of
+// going through the buffered channel, so a caller that drains digests after
+// every Process* call (the discrete-event network does) pays no channel
+// operations on the hot path. A sink never drops: the bounded-mailbox
+// semantics belong to the channel, which a sink replaces. Like SetObserver it
+// must be installed before processing traffic; digests emitted before the
+// sink was attached stay in the channel and must be drained from there. nil
+// detaches and restores the channel path.
+func (sw *Switch) SetDigestSink(sink func(Digest)) { sw.sink = sink }
 
 // Program returns the interpreted program.
 func (sw *Switch) Program() *Program { return sw.prog }
@@ -541,6 +553,13 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 //
 //stat4:datapath
 func (sw *Switch) sendDigest(d Digest) {
+	if sw.sink != nil {
+		sw.sink(d)
+		if sw.obs != nil {
+			sw.obs.DigestEmitted()
+		}
+		return
+	}
 	select {
 	case sw.digests <- d:
 		if sw.obs != nil {

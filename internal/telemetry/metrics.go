@@ -185,8 +185,9 @@ type NodeMetrics struct {
 	// CtrlLatency is drain→controller-arrival virtual nanoseconds for
 	// digests on the control channel.
 	CtrlLatency *Hist
-	// DigestQueue is the switch digest-channel occupancy observed at each
-	// drain.
+	// DigestQueue is the switch digest-queue occupancy observed as each
+	// digest is drained, counting the digest being popped — a backlog of
+	// three records samples {3,2,1}, never {2,1,0}.
 	DigestQueue *Hist
 	// DroppedDigests counts digests drained while no OnDigest handler was
 	// attached (see the SwitchNode attach-before-inject contract).

@@ -11,10 +11,12 @@ package stat4
 import (
 	"testing"
 
+	"stat4/internal/netem"
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
 	"stat4/internal/telemetry"
+	"stat4/internal/traffic"
 )
 
 // warmupPackets runs enough traffic to take every lazily-grown buffer (deparse
@@ -169,6 +171,51 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 	})
 	if seen == 0 {
 		t.Fatal("emit never called")
+	}
+	if obs.Cost.Count() == 0 {
+		t.Fatal("telemetry observer recorded nothing")
+	}
+}
+
+// TestNetemInjectZeroAllocEcho pins the simulated end-to-end path under the
+// wheel engine: scheduling the packet-arrival event, dispatching it through
+// the switch, and delivering the reply frame over a pooled link buffer must
+// add zero allocations on top of the (already zero-alloc) datapath. This is
+// the simulator-side guarantee the timer-wheel rework exists for — under the
+// reference heap scheduler the same cycle allocates a closure and a frame
+// copy per event.
+func TestNetemInjectZeroAllocEcho(t *testing.T) {
+	rt, err := stat4p4.NewRuntime(stat4p4.Build(stat4p4.Options{Slots: 1, Size: 512, Stages: 1, Echo: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.BindFreqEcho(0, 0, stat4p4.EchoOnly(), stat4p4.EchoBias-255, 512, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sw := rt.Switch()
+	obs := attachTelemetry(sw)
+	sim := netem.NewSimSched(netem.SchedWheel)
+	node := netem.NewSwitchNode(sim, sw, 500)
+	node.OnDigest = func(now uint64, d p4.Digest) {}
+	var delivered int
+	// Echo replies egress on the ingress port.
+	node.Connect(1, 100, func(now uint64, data []byte) { delivered++ })
+
+	pkt, _ := packet.Parse(packet.NewEchoFrame(packet.MAC{1}, packet.MAC{2}, 42).Serialize())
+	ts := uint64(0)
+	step := func() {
+		ts += 200
+		node.Inject(ts, 1, traffic.Pkt{TsNs: ts, Frame: pkt})
+		sim.RunUntil(ts + 150)
+	}
+	for i := 0; i < warmupPackets; i++ {
+		step()
+	}
+	assertZeroAllocs(t, "netem-echo", func() {
+		step()
+	})
+	if delivered == 0 {
+		t.Fatal("no echo replies delivered over the link")
 	}
 	if obs.Cost.Count() == 0 {
 		t.Fatal("telemetry observer recorded nothing")
