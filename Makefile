@@ -25,7 +25,11 @@ vet:
 
 # lint runs the switch-feasibility gate both ways: the standalone whole-module
 # driver (authoritative: the datapath closure crosses package boundaries) and
-# through go vet's -vettool protocol (what editor integrations use).
+# through go vet's -vettool protocol (what editor integrations use). Both
+# modes also run the program-level gates — stagebudget (every registered
+# emitted program must fit the pisa-3pass target model) and mergelaw (declared
+# merge kinds, additive-only MergeSum writes) — standalone always, vettool on
+# the stat4p4 package's unit.
 lint:
 	$(GO) run ./cmd/stat4-lint ./...
 	$(GO) build -o $(CURDIR)/bin/stat4-lint ./cmd/stat4-lint

@@ -4,11 +4,15 @@
 //
 //	stat4-dump -slots 8 -size 256 -stages 2
 //	stat4-dump -strict -report-only
+//	stat4-dump -resources                  # stage placement against the target model
+//	stat4-dump -resources -target configs/lint-target.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"stat4/internal/p4"
 	"stat4/internal/stat4p4"
@@ -23,6 +27,8 @@ func main() {
 	reportOnly := flag.Bool("report-only", false, "print only the resource report")
 	sparse := flag.Bool("sparse", false, "include the sparse (hash-bucket) tracking mode")
 	emitP4 := flag.Bool("p416", false, "emit P4-16 source for the v1model architecture instead of the IR listing")
+	resources := flag.Bool("resources", false, "print the stage placement against the target model instead of the listing")
+	target := flag.String("target", "", "target-model JSON for -resources (default: the built-in pisa-3pass model)")
 	flag.Parse()
 
 	opts := stat4p4.Options{Slots: *slots, Size: *size, Stages: *stages, Echo: *echo, Strict: *strict, Sparse: *sparse}
@@ -31,15 +37,73 @@ func main() {
 		fmt.Print(stat4p4.EmitP416(lib))
 		return
 	}
+	if *resources {
+		tm := p4.DefaultTargetModel()
+		if *target != "" {
+			var err error
+			if tm, err = p4.LoadTargetModel(*target); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		rep, err := p4.AllocateStages(lib.Prog, tm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(formatStageReport(rep))
+		if !rep.Fit {
+			os.Exit(1)
+		}
+		return
+	}
 	if !*reportOnly {
 		fmt.Print(p4.Format(lib.Prog))
 		fmt.Println()
 	}
-	r := p4.AnalyzeProgram(lib.Prog)
+	printResourceReport(p4.AnalyzeProgram(lib.Prog))
+}
+
+func printResourceReport(r p4.ResourceReport) {
 	fmt.Printf("resources: %d fields, %d actions, %d tables, %d registers\n",
 		r.NumFields, r.NumActions, r.NumTables, r.NumRegisters)
 	fmt.Printf("           %d register bytes + %d table bytes = %.1f KB\n",
 		r.RegisterBytes, r.TableBytes, float64(r.TotalBytes)/1024)
 	fmt.Printf("           match-rule dependencies: %d, longest dependency chain: %d\n",
 		r.MatchRuleDependencies, r.LongestDepChain)
+}
+
+// formatStageReport renders the stage-placement table: one row per occupied
+// stage with its resource use, then the fit verdict against the model and
+// the embedded static resource report.
+func formatStageReport(rep *p4.StageReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %q: %d stages, per stage: %d ALUs, %d hash, %d reg-actions, %d tables, %d KiB SRAM\n",
+		rep.Model.Name, rep.Model.Stages, rep.Model.ALUsPerStage, rep.Model.HashUnitsPerStage,
+		rep.Model.RegActionsPerStage, rep.Model.TablesPerStage, rep.Model.SRAMPerStageBytes/1024)
+	fmt.Fprintf(&b, "%5s  %4s  %4s  %7s  %9s  %s\n", "stage", "alus", "hash", "regacts", "sram", "tables / registers")
+	for i, su := range rep.Stages {
+		var what []string
+		if len(su.Tables) > 0 {
+			what = append(what, "tables: "+strings.Join(su.Tables, ","))
+		}
+		if len(su.Registers) > 0 {
+			what = append(what, "regs: "+strings.Join(su.Registers, ","))
+		}
+		fmt.Fprintf(&b, "%5d  %4d  %4d  %7d  %8dB  %s\n",
+			i, su.ALUs, su.HashUnits, su.RegActions, su.SRAMBytes, strings.Join(what, "  "))
+	}
+	fmt.Fprintf(&b, "stages used: %d of %d", rep.StagesUsed, rep.Model.Stages)
+	if rep.Fit {
+		b.WriteString("  [fits]\n")
+	} else {
+		b.WriteString("  [DOES NOT FIT]\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "resources: %d fields, %d actions, %d tables, %d registers; %d register bytes + %d table bytes; longest chain %d\n",
+		rep.NumFields, rep.NumActions, rep.NumTables, rep.NumRegisters,
+		rep.RegisterBytes, rep.TableBytes, rep.LongestDepChain)
+	return b.String()
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"stat4/internal/p4"
+	"stat4/internal/stat4p4"
+)
+
+// The -resources rendering: a fitting program prints one row per occupied
+// stage, the verdict, and the embedded resource report.
+func TestFormatStageReportFits(t *testing.T) {
+	lib := stat4p4.Build(stat4p4.DefaultOptions)
+	rep, err := p4.AllocateStages(lib.Prog, p4.DefaultTargetModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fit {
+		t.Fatalf("default program must fit the default model: %v", rep.Violations)
+	}
+	out := formatStageReport(rep)
+	if !strings.Contains(out, "[fits]") {
+		t.Errorf("verdict line missing from:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < rep.StagesUsed+3 {
+		t.Errorf("expected a row per stage (%d) plus header/verdict lines, got %d lines", rep.StagesUsed, got)
+	}
+	if !strings.Contains(out, "regs: stat.counters") {
+		t.Errorf("register placement missing from:\n%s", out)
+	}
+	if !strings.Contains(out, "resources: ") {
+		t.Errorf("resource report missing from:\n%s", out)
+	}
+}
+
+// An over-budget placement renders its verdict and names the violations.
+func TestFormatStageReportOverBudget(t *testing.T) {
+	lib := stat4p4.Build(stat4p4.DefaultOptions)
+	tm := p4.DefaultTargetModel()
+	tm.Stages = 4
+	rep, err := p4.AllocateStages(lib.Prog, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit {
+		t.Fatal("default program cannot fit 4 stages")
+	}
+	out := formatStageReport(rep)
+	if !strings.Contains(out, "[DOES NOT FIT]") || !strings.Contains(out, "violation: ") {
+		t.Errorf("over-budget report lacks verdict or violations:\n%s", out)
+	}
+}

@@ -1,14 +1,20 @@
 // Command stat4-lint enforces the switch-feasibility invariants of "Stats
 // 101 in P4" on the Go datapath: functions marked //stat4:datapath (and
 // everything they transitively call within the module) must be integer-only,
-// division-free, loop-free, bounded straight-line code. See internal/lint
-// for the analyzers.
+// division-free, loop-free, bounded, allocation-free straight-line code, and
+// variables under sync/atomic discipline must stay under it module-wide. On
+// top of the source analyzers, the program-level passes gate every
+// registered Stat4 program: stagebudget places its compiled plan onto a PISA
+// target model's stages, and mergelaw checks the cross-replica merge
+// discipline of its registers. See internal/lint for the analyzers.
 //
 // Standalone (whole-module, authoritative):
 //
 //	go run ./cmd/stat4-lint ./...
+//	go run ./cmd/stat4-lint -target configs/lint-target.json ./...
 //
-// As a go vet tool (modular, per package):
+// As a go vet tool (modular, per package; the program gate runs when the
+// stat4p4 package itself is vetted):
 //
 //	go build -o stat4-lint ./cmd/stat4-lint
 //	go vet -vettool=$(pwd)/stat4-lint ./...
@@ -27,6 +33,8 @@ import (
 	"strings"
 
 	"stat4/internal/lint"
+	"stat4/internal/p4"
+	"stat4/internal/stat4p4"
 )
 
 func main() {
@@ -50,11 +58,22 @@ func main() {
 
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	dir := flag.String("C", "", "change to this directory before loading packages")
+	target := flag.String("target", "", "target-model JSON for the stagebudget gate (default: the built-in pisa-3pass model)")
+	programs := flag.Bool("programs", true, "run the stagebudget and mergelaw gates over every registered program")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: stat4-lint [-json] [-C dir] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stat4-lint [-json] [-C dir] [-target model.json] [-programs=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	tm := p4.DefaultTargetModel()
+	if *target != "" {
+		var err error
+		if tm, err = p4.LoadTargetModel(*target); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -66,19 +85,42 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(mod, lint.Analyzers())
+	if *programs {
+		diags = append(diags, lint.RunPrograms(registeredCases(), tm)...)
+	}
 	emit(diags, *jsonOut)
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
+// registeredCases adapts the stat4p4 catalog to the program-level passes:
+// every registered configuration is built and gated.
+func registeredCases() []lint.ProgramCase {
+	var cases []lint.ProgramCase
+	for _, rp := range stat4p4.Registered() {
+		lib := stat4p4.Build(rp.Opts)
+		cases = append(cases, lint.ProgramCase{
+			Name:       rp.Name,
+			Prog:       lib.Prog,
+			Recomputed: lib.RecomputedRegisters(),
+		})
+	}
+	return cases
+}
+
 // runUnit is the `go vet -vettool` entry point: analyze one package
-// described by a vet config file.
+// described by a vet config file. Vetting the stat4p4 package also runs the
+// program-level gates — that is the package whose code emits the programs,
+// so its vet run is where a budget regression belongs.
 func runUnit(cfgFile string) {
 	diags, err := lint.RunUnit(cfgFile, lint.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if unitImportPath(cfgFile) == "stat4/internal/stat4p4" {
+		diags = append(diags, lint.RunPrograms(registeredCases(), p4.DefaultTargetModel())...)
 	}
 	if len(diags) > 0 {
 		emit(diags, false)
@@ -86,22 +128,25 @@ func runUnit(cfgFile string) {
 	}
 }
 
+// unitImportPath peeks at the vet config's ImportPath; a malformed config
+// will fail properly inside RunUnit, so errors here just mean "not stat4p4".
+func unitImportPath(cfgFile string) string {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return ""
+	}
+	var cfg struct{ ImportPath string }
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return ""
+	}
+	return cfg.ImportPath
+}
+
 func emit(diags []lint.Diagnostic, asJSON bool) {
 	if asJSON {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
-		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
-		enc.Encode(out)
+		enc.Encode(lint.ToJSON(diags))
 		return
 	}
 	for _, d := range diags {

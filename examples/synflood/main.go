@@ -19,8 +19,8 @@ import (
 // floodConfig sizes the scenario: main runs the full two-second trace, the
 // smoke test a scaled-down one with the same rate ratio.
 type floodConfig struct {
-	IntShift   uint   // log2 of the interval width in ns
-	Window     int    // stored intervals
+	IntShift   uint // log2 of the interval width in ns
+	Window     int  // stored intervals
 	WebRate    float64
 	FloodRate  float64
 	FloodStart uint64

@@ -61,7 +61,9 @@ func (d *FreqDist) Moments() *Moments { return &d.m }
 //stat4:datapath
 func (d *FreqDist) Observe(v uint64) error {
 	if v >= uint64(len(d.freq)) {
-		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, v, len(d.freq))
+		// The sentinel is returned bare: wrapping with fmt.Errorf would
+		// allocate on a path reachable per packet (allocfree).
+		return ErrOutOfRange
 	}
 	f := d.freq[v]
 	d.m.AddFrequency(f, f == 0)

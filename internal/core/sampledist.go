@@ -1,9 +1,6 @@
 package core
 
-import (
-	"errors"
-	"fmt"
-)
+import "errors"
 
 // ErrFull is returned when a sample-mode distribution has exhausted its
 // counter cells. Stat4 keeps one counter per value (Section 2), so the
@@ -48,7 +45,8 @@ func (d *SampleDist) Samples() []uint64 { return d.cells[:d.n] }
 //stat4:datapath
 func (d *SampleDist) Observe(x uint64) error {
 	if d.n == len(d.cells) {
-		return fmt.Errorf("%w: capacity %d", ErrFull, len(d.cells))
+		// Bare sentinel: wrapping would allocate per rejected observation.
+		return ErrFull
 	}
 	d.cells[d.n] = x
 	d.n++
@@ -63,7 +61,7 @@ func (d *SampleDist) Observe(x uint64) error {
 //stat4:datapath
 func (d *SampleDist) AddAt(i int, delta uint64) error {
 	if i < 0 || i >= d.n {
-		return fmt.Errorf("%w: index %d with %d samples", ErrOutOfRange, i, d.n)
+		return ErrOutOfRange
 	}
 	x := d.cells[i]
 	d.cells[i] = x + delta

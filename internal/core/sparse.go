@@ -112,7 +112,9 @@ func (d *SparseFreqDist) Observe(key uint64) error {
 	if !found {
 		if free < 0 {
 			d.Rejected++
-			return fmt.Errorf("%w: %d (%d ways over %d buckets)", ErrSparseFull, key, d.ways, len(d.keys))
+			// Bare sentinel: the rejection path runs once per rejected
+			// packet under overload, exactly when allocating is worst.
+			return ErrSparseFull
 		}
 		idx = free
 		d.used[idx] = true

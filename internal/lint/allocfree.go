@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree rejects constructs that heap-allocate (or hand work to the
+// runtime's allocator) in datapath functions. A switch pipeline has no heap:
+// every byte of state is a register or PHV field sized at compile time, so
+// per-packet Go code that allocates is modelling hardware that cannot exist.
+// It also keeps the software datapath honest as a benchmark subject — an
+// allocation per packet turns the GC into part of the measured system.
+//
+// Flagged: make/new/append, composite literals that create slices or maps or
+// whose address is taken, function literals (closure environments allocate),
+// defer and go statements, string concatenation and string<->[]byte/[]rune
+// conversions, calls into fmt, and implicit interface boxing at call sites
+// (including variadic ...interface{} parameters, fmt's other allocation).
+// Constructs with a compile-time-bounded, setup-only purpose carry
+// //stat4:exempt:allocfree with a justification.
+var AllocFree = &Analyzer{
+	Name:      "allocfree",
+	Doc:       "no heap allocation in datapath functions",
+	CheckFunc: checkAllocFree,
+}
+
+func checkAllocFree(pass *Pass) {
+	info := pass.TypesInfo()
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !seen[pos] {
+			seen[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	ast.Inspect(pass.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(info, e, report)
+		case *ast.FuncLit:
+			report(e.Pos(), "function literal in datapath code: the closure environment is heap-allocated")
+		case *ast.DeferStmt:
+			report(e.Defer, "defer in datapath code: the deferred frame is runtime-managed state a pipeline does not have")
+		case *ast.GoStmt:
+			report(e.Go, "go statement in datapath code: per-packet work cannot spawn goroutines")
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(cl.Pos(), "address-of composite literal escapes to the heap in datapath code")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(e.Pos(), "slice literal allocates its backing array in datapath code")
+				case *types.Map:
+					report(e.Pos(), "map literal allocates in datapath code")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && !isConstExpr(info, e) {
+				if tv, ok := info.Types[e]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(e.OpPos, "string concatenation allocates in datapath code")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocCall handles the call-shaped allocation sources: allocating
+// builtins, conversions that copy string memory, fmt calls, and implicit
+// interface boxing of concrete arguments.
+func checkAllocCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	// Allocating builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates in datapath code (size register state at compile time instead)")
+			case "new":
+				report(call.Pos(), "new allocates in datapath code")
+			case "append":
+				report(call.Pos(), "append may grow and reallocate in datapath code (P4 state is fixed-size)")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is a type. String conversions copy memory.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			dst, src := tv.Type, types.Type(nil)
+			if atv, ok := info.Types[call.Args[0]]; ok {
+				src = atv.Type
+			}
+			if src != nil && stringConversionAllocates(dst, src) {
+				report(call.Pos(), "conversion between string and byte/rune slice copies its memory in datapath code")
+			}
+		}
+		return
+	}
+
+	// Calls into fmt: reflection-driven formatting, allocates per call.
+	if f := calleeFunc(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s formats through reflection and allocates in datapath code", f.Name())
+		return
+	}
+
+	// Implicit interface boxing: a concrete argument passed to an interface
+	// parameter is wrapped in a runtime-allocated interface value.
+	sig, ok := typeOfFun(info, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // arg is already the slice, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if _, already := atv.Type.Underlying().(*types.Interface); already {
+			continue
+		}
+		if b, ok := atv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "argument of type %s is boxed into interface %s at this call in datapath code", atv.Type, pt)
+	}
+}
+
+// typeOfFun returns the signature a call invokes, when it is a plain call of
+// a function or function value (not a conversion or builtin).
+func typeOfFun(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// stringConversionAllocates reports whether a conversion from src to dst is
+// one of the string<->[]byte/[]rune shapes that copy the data.
+func stringConversionAllocates(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteish(src)) || (isByteish(dst) && isStr(src))
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicSafe enforces atomic access discipline across the whole module: a
+// variable that any code accesses through sync/atomic must be accessed
+// through sync/atomic everywhere. Mixing atomic and plain access is a data
+// race the race detector only catches when both sides happen to run — the
+// sharded datapath, the netem engine and the controller all share counters
+// across goroutines, so one plain fast-path read silently loses the
+// guarantee every other access site pays for.
+//
+// Two facts feed the check, gathered module-wide before any reporting:
+//
+//   - address-taken facts: a variable passed as &v to a function-style
+//     sync/atomic call (atomic.AddUint64(&v, 1), ...) anywhere makes every
+//     plain read or write of v elsewhere a finding;
+//   - typed-atomic copies: a value of a sync/atomic type (atomic.Uint64,
+//     atomic.Bool, ...) that appears in a copying position — assignment
+//     source, call argument, return value, composite-literal element —
+//     detaches the copy from the shared cell, so the copy is reported.
+//
+// Unlike the datapath analyzers this one runs over every module function:
+// atomic discipline is a host-side concurrency law, not a switch-feasibility
+// law. Deliberate pre-publication initialisation carries
+// //stat4:exempt:atomicsafe with a justification.
+var AtomicSafe = &Analyzer{
+	Name:       "atomicsafe",
+	Doc:        "variables accessed via sync/atomic must be accessed atomically everywhere",
+	ModuleFunc: checkAtomicSafe,
+}
+
+// atomicFact records why a variable is under atomic discipline: the first
+// sync/atomic call site that takes its address.
+type atomicFact struct {
+	call token.Pos
+	fn   string // the sync/atomic function used there, for the message
+}
+
+func checkAtomicSafe(pass *ModulePass) {
+	atomicVars := make(map[*types.Var]atomicFact)
+	sanctioned := make(map[ast.Expr]bool) // &v operands inside atomic calls
+
+	// Phase 1: collect address-taken facts module-wide.
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pkg.Info, call)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if f.Type().(*types.Signature).Recv() != nil {
+					return true // method on a typed atomic: safe by construction
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					operand := ast.Unparen(u.X)
+					v := varOf(pkg.Info, operand)
+					if v == nil {
+						continue
+					}
+					sanctioned[operand] = true
+					if _, have := atomicVars[v]; !have {
+						atomicVars[v] = atomicFact{call: call.Pos(), fn: f.Name()}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: report plain accesses to those variables, and copies of
+	// typed atomics, everywhere in the module.
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, file := range pkg.Files {
+			reportPlainAccesses(pass, pkg, file, atomicVars, sanctioned)
+			reportAtomicCopies(pass, pkg, file)
+		}
+	}
+}
+
+// varOf resolves the variable an identifier or field selector denotes.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		// Package-qualified variable: pkg.V.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// reportPlainAccesses flags every read or write of an atomic-disciplined
+// variable that does not go through sync/atomic.
+func reportPlainAccesses(pass *ModulePass, pkg *Package, file *ast.File, atomicVars map[*types.Var]atomicFact, sanctioned map[ast.Expr]bool) {
+	if len(atomicVars) == 0 {
+		return
+	}
+	skipKeys := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.KeyValueExpr:
+			// A bare identifier key in a composite literal names the field;
+			// it is part of the literal's shape, not an access.
+			if id, ok := e.Key.(*ast.Ident); ok {
+				skipKeys[id] = true
+			}
+			return true
+		case *ast.Ident:
+			if skipKeys[e] {
+				return true
+			}
+			if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+				if fact, hot := atomicVars[v]; hot && !sanctioned[e] {
+					reportMixed(pass, pkg, e.Pos(), v, fact)
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if sanctioned[e] {
+				return false // the &v operand of an atomic call
+			}
+			if v := varOf(pkg.Info, e); v != nil {
+				if fact, hot := atomicVars[v]; hot {
+					reportMixed(pass, pkg, e.Sel.Pos(), v, fact)
+					return false // don't re-flag through the nested ident
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func reportMixed(pass *ModulePass, pkg *Package, pos token.Pos, v *types.Var, fact atomicFact) {
+	site := pass.Mod.Fset.Position(fact.call)
+	pass.Reportf(pkg, pos,
+		"%s is accessed with atomic.%s at %s; this plain access races with it (use sync/atomic everywhere or nowhere)",
+		v.Name(), fact.fn, site)
+}
+
+// reportAtomicCopies flags values of sync/atomic types appearing in copying
+// positions. A copied atomic detaches from the cell the rest of the program
+// synchronises on.
+func reportAtomicCopies(pass *ModulePass, pkg *Package, file *ast.File) {
+	checkCopy := func(e ast.Expr, what string) {
+		tv, ok := pkg.Info.Types[ast.Unparen(e)]
+		if !ok || tv.Type == nil || !isAtomicType(tv.Type) {
+			return
+		}
+		pass.Reportf(pkg, e.Pos(),
+			"%s copies a %s value; the copy detaches from the cell other goroutines synchronise on",
+			what, tv.Type)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range e.Rhs {
+				checkCopy(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range e.Values {
+				checkCopy(v, "declaration")
+			}
+		case *ast.CallExpr:
+			if tv, ok := pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range e.Args {
+				checkCopy(arg, "call argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				checkCopy(r, "return")
+			}
+		case *ast.KeyValueExpr:
+			checkCopy(e.Value, "composite literal")
+		}
+		return true
+	})
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types
+// (atomic.Uint64, atomic.Bool, atomic.Value, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

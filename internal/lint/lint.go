@@ -10,14 +10,17 @@ import (
 
 // Analyzer is one switch-feasibility check. CheckFunc is invoked once per
 // function in the datapath closure; it walks the function body and reports
-// violations through the Pass.
+// violations through the Pass. ModuleFunc is invoked once per Run with the
+// whole module in view, for properties that live across functions and
+// packages (an analyzer may define either or both; both may be nil for
+// analyzers whose diagnostics come from the framework itself).
 type Analyzer struct {
 	Name string
 	Doc  string
-	// CheckFunc inspects one datapath function. It may be nil for analyzers
-	// whose diagnostics come from the framework itself (directive validation,
-	// recursion detection).
+	// CheckFunc inspects one datapath function.
 	CheckFunc func(pass *Pass)
+	// ModuleFunc inspects the whole module at once.
+	ModuleFunc func(pass *ModulePass)
 }
 
 // Analyzers is the full suite in reporting order.
@@ -28,6 +31,8 @@ func Analyzers() []*Analyzer {
 		BoundedLoop,
 		NoMapRange,
 		ShiftConst,
+		AllocFree,
+		AtomicSafe,
 		Directive,
 	}
 }
@@ -75,6 +80,36 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 // same line as pos or the line directly above it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.run.reportf(p.Analyzer.Name, p.Decl, pos, format, args...)
+}
+
+// ModulePass carries the state a module-level analyzer sees: the whole
+// loaded module, not one closure function.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+
+	run *run
+}
+
+// Reportf records a diagnostic at pos in pkg. Exemptions work as for
+// Pass.Reportf; the enclosing function declaration (if any) is located so
+// doc-comment exemptions apply to module-level findings too.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	p.run.reportf(p.Analyzer.Name, enclosingFuncDecl(pkg, pos), pos, format, args...)
+}
+
+// enclosingFuncDecl finds the function declaration containing pos, or nil.
+func enclosingFuncDecl(pkg *Package, pos token.Pos) *ast.FuncDecl {
+	file := fileOf(pkg, pos)
+	if file == nil {
+		return nil
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
 }
 
 // run is the mutable state of one Run invocation.
@@ -129,6 +164,13 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 				run:      r,
 			})
 		}
+	}
+
+	for _, a := range analyzers {
+		if a.ModuleFunc == nil {
+			continue
+		}
+		a.ModuleFunc(&ModulePass{Analyzer: a, Mod: mod, run: r})
 	}
 
 	sort.Slice(r.diags, func(i, j int) bool {

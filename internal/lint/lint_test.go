@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"testing"
 
 	"stat4/internal/lint"
@@ -32,6 +33,14 @@ func TestShiftConst(t *testing.T) {
 	linttest.Run(t, "testdata/src", "shiftconst", lint.Analyzers())
 }
 
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, "testdata/src", "allocfree", lint.Analyzers())
+}
+
+func TestAtomicSafe(t *testing.T) {
+	linttest.Run(t, "testdata/src", "atomicsafe", lint.Analyzers())
+}
+
 func TestDirectiveValidation(t *testing.T) {
 	linttest.Run(t, "testdata/src", "directive", lint.Analyzers())
 }
@@ -55,11 +64,41 @@ func TestDiagnosticOrder(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTrip pins the -json wire schema: a diagnostic survives
+// marshal → unmarshal → Diagnostic with its position, analyzer and message
+// intact (only the byte offset, which is not part of the schema, is lost).
+func TestJSONRoundTrip(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata/src", "allocfree", lint.Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("allocfree fixture produced no diagnostics to round-trip")
+	}
+	data, err := json.Marshal(lint.ToJSON(diags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []lint.JSONDiagnostic
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != len(diags) {
+		t.Fatalf("round trip changed count: %d -> %d", len(diags), len(wire))
+	}
+	for i, j := range wire {
+		got, want := j.Diagnostic(), diags[i]
+		if got.String() != want.String() || got.Analyzer != want.Analyzer {
+			t.Errorf("diagnostic %d changed:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	if out, err := json.Marshal(lint.ToJSON(nil)); err != nil || string(out) != "[]" {
+		t.Errorf("clean run must emit [], got %s (%v)", out, err)
+	}
+}
+
 // TestAnalyzerNamesStable pins the exemption namespace: renaming an analyzer
 // silently invalidates every //stat4:exempt:<name> comment in the tree, so a
 // rename must be deliberate.
 func TestAnalyzerNamesStable(t *testing.T) {
-	want := []string{"nodivide", "nofloat", "boundedloop", "nomaprange", "shiftconst", "directive"}
+	want := []string{"nodivide", "nofloat", "boundedloop", "nomaprange", "shiftconst", "allocfree", "atomicsafe", "directive"}
 	names := lint.AnalyzerNames()
 	if len(names) != len(want) {
 		t.Fatalf("analyzer set changed: got %v", names)

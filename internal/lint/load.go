@@ -174,7 +174,7 @@ func (mod *Module) inModule(pkg *types.Package) bool {
 }
 
 // fileOf returns the *ast.File containing pos within pkg, or nil.
-func fileOf(fset *token.FileSet, pkg *Package, pos token.Pos) *ast.File {
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
 	for _, f := range pkg.Files {
 		if f.FileStart <= pos && pos <= f.FileEnd {
 			return f

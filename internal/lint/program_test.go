@@ -1,0 +1,87 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"stat4/internal/lint"
+	"stat4/internal/p4"
+)
+
+// tightModel is deliberately too shallow for any multi-op chain.
+func tightModel() p4.TargetModel {
+	return p4.TargetModel{
+		Name: "tight", Stages: 2, ALUsPerStage: 4, HashUnitsPerStage: 1,
+		RegActionsPerStage: 2, TablesPerStage: 1, SRAMPerStageBytes: 1 << 16,
+	}
+}
+
+// deepProgram needs three stages: a serial def-use chain of three adds.
+func deepProgram() *p4.Program {
+	p := p4.NewProgram("deep")
+	a := p.AddField("m.a", 64)
+	b := p.AddField("m.b", 64)
+	c := p.AddField("m.c", 64)
+	p.AddAction(p4.NewAction("calc", 0,
+		p4.Add(a, p4.C(1), p4.C(2)),
+		p4.Add(b, p4.F(a), p4.C(1)),
+		p4.Add(c, p4.F(b), p4.F(a)),
+	))
+	p.Control = []p4.Stmt{p4.Call("calc")}
+	return p
+}
+
+// The deliberately over-budget case: stagebudget reports the shortfall and
+// the overflowing ops under the program's pseudo-position.
+func TestRunProgramsOverBudget(t *testing.T) {
+	diags := lint.RunPrograms([]lint.ProgramCase{
+		{Name: "deep", Prog: deepProgram()},
+	}, tightModel())
+
+	var stage []lint.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != "stagebudget" {
+			continue
+		}
+		stage = append(stage, d)
+		if d.Pos.Filename != "program:deep" {
+			t.Errorf("diagnostic not anchored to the program pseudo-file: %s", d)
+		}
+	}
+	if len(stage) < 2 {
+		t.Fatalf("want a shortfall summary plus named violations, got %v", diags)
+	}
+	if !strings.Contains(stage[0].Message, `needs 3 stages of the 2-stage "tight" target`) {
+		t.Errorf("summary diagnostic wrong: %s", stage[0])
+	}
+	if !strings.Contains(stage[1].Message, "calc") {
+		t.Errorf("violation should name the overflowing action: %s", stage[1])
+	}
+}
+
+// A fitting, law-abiding program produces no diagnostics.
+func TestRunProgramsClean(t *testing.T) {
+	diags := lint.RunPrograms([]lint.ProgramCase{
+		{Name: "deep", Prog: deepProgram()},
+	}, p4.DefaultTargetModel())
+	if len(diags) != 0 {
+		t.Fatalf("clean program flagged: %v", diags)
+	}
+}
+
+// Mergelaw findings surface through the same diagnostic stream, under the
+// mergelaw analyzer name.
+func TestRunProgramsMergeLaw(t *testing.T) {
+	p := deepProgram()
+	p.AddRegister("ctr", 8, 64) // merge kind never declared
+
+	diags := lint.RunPrograms([]lint.ProgramCase{
+		{Name: "deep", Prog: p},
+	}, p4.DefaultTargetModel())
+	if len(diags) != 1 || diags[0].Analyzer != "mergelaw" {
+		t.Fatalf("want one mergelaw diagnostic, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, `register "ctr" does not declare its merge kind`) {
+		t.Errorf("unexpected message: %s", diags[0])
+	}
+}

@@ -1,0 +1,82 @@
+// Package allocfree exercises the heap-allocation analyzer: every way a
+// datapath function can reach the runtime allocator, plus the shapes that
+// are fine (fixed-size arrays, indexing, arithmetic) and an exemption.
+package allocfree
+
+import "fmt"
+
+var state [64]uint64
+
+//stat4:datapath
+func builtins(n int) {
+	s := make([]uint64, n) // want "make allocates in datapath code"
+	p := new(uint64)       // want "new allocates in datapath code"
+	s = append(s, 1)       // want "append may grow and reallocate in datapath code"
+	_, _ = s, p
+}
+
+//stat4:datapath
+func literals() {
+	s := []uint64{1, 2, 3}       // want "slice literal allocates its backing array"
+	m := map[uint64]uint64{1: 2} // want "map literal allocates in datapath code"
+	c := &config{width: 32}      // want "address-of composite literal escapes to the heap"
+	v := config{width: 8}        // a value-typed struct literal lives on the stack
+	_, _, _, _ = s, m, c, v
+}
+
+//stat4:datapath
+func control(x uint64) {
+	defer cleanup()                 // want "defer in datapath code"
+	go spin()                       // want "go statement in datapath code"
+	f := func() uint64 { return x } // want "function literal in datapath code"
+	_ = f
+}
+
+//stat4:datapath
+func strings(name string, raw []byte) {
+	s := name + "!"   // want "string concatenation allocates in datapath code"
+	b := []byte(name) // want "conversion between string and byte/rune slice copies its memory"
+	t := string(raw)  // want "conversion between string and byte/rune slice copies its memory"
+	_, _, _ = s, b, t
+}
+
+//stat4:datapath
+func formatting(v uint64) {
+	_ = fmt.Sprintf("%d", v) // want "fmt.Sprintf formats through reflection and allocates"
+}
+
+//stat4:datapath
+func boxing(v uint64) {
+	sink(v) // want "argument of type uint64 is boxed into interface"
+	logv(v) // want "argument of type uint64 is boxed into interface"
+	var i interface{} = nil
+	sink(i) // an interface-typed argument is passed through, not boxed
+}
+
+//stat4:datapath
+func exempted() {
+	//stat4:exempt:allocfree digest buffers hand ownership to the control plane
+	_ = make([]uint64, 4)
+}
+
+// clean shows the allowed shapes: fixed arrays, indexing, arithmetic.
+//
+//stat4:datapath
+func clean(i uint64) uint64 {
+	state[i&63] += i
+	return state[i&63]
+}
+
+//stat4:datapath
+func sink(v interface{}) {}
+
+//stat4:datapath
+func logv(vs ...interface{}) {}
+
+//stat4:datapath
+func cleanup() {}
+
+//stat4:datapath
+func spin() {}
+
+type config struct{ width int }

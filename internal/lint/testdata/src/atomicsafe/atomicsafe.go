@@ -1,0 +1,53 @@
+// Package atomicsafe exercises the atomic-discipline analyzer: plain
+// accesses mixed with sync/atomic accesses to the same variable, copies of
+// typed atomics, and the clean and exempted shapes. The analyzer is
+// module-wide, so no //stat4:datapath marks are needed.
+package atomicsafe
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	drops uint64
+	seen  atomic.Uint64
+}
+
+// bump establishes the fact: hits is atomic-disciplined everywhere.
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) loadOK() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) report() uint64 {
+	return c.hits // want "hits is accessed with atomic.AddUint64 at .*; this plain access races with it"
+}
+
+func (c *counters) reset() {
+	c.hits = 0  // want "hits is accessed with atomic.AddUint64 at .*; this plain access races with it"
+	c.drops = 0 // drops is never touched atomically: plain access is consistent
+}
+
+func (c *counters) exemptedInit() {
+	//stat4:exempt:atomicsafe constructor runs before the counters are shared
+	c.hits = 0
+}
+
+// typed atomics are safe through their methods...
+func (c *counters) typedOK() uint64 {
+	return c.seen.Add(1)
+}
+
+// ...but copying the value detaches it from the shared cell.
+func (c *counters) copyTyped() {
+	v := c.seen // want "assignment copies a sync/atomic.Uint64 value"
+	_ = v.Load()
+}
+
+func observe(u atomic.Uint64) uint64 { return u.Load() }
+
+func (c *counters) passTyped() uint64 {
+	return observe(c.seen) // want "call argument copies a sync/atomic.Uint64 value"
+}

@@ -1,0 +1,8 @@
+// Package fmt stubs the standard library package for the allocfree fixture.
+// Bodyless declarations (like assembly-backed stdlib functions) stay out of
+// the call graph; the analyzer matches on package path and name only.
+package fmt
+
+func Sprintf(format string, args ...interface{}) string
+
+func Errorf(format string, args ...interface{}) error

@@ -1,0 +1,19 @@
+// Package atomic stubs sync/atomic for the atomicsafe fixture. The
+// function-style entry points and one typed atomic are enough to exercise
+// both halves of the analyzer; bodies are empty or absent so the stub adds
+// nothing to the call graph.
+package atomic
+
+func AddUint64(addr *uint64, delta uint64) uint64
+
+func LoadUint64(addr *uint64) uint64
+
+func StoreUint64(addr *uint64, val uint64)
+
+// Uint64 mirrors the typed atomic: methods take a pointer receiver, so only
+// copies of the value itself are misuse.
+type Uint64 struct{ v uint64 }
+
+func (u *Uint64) Load() uint64
+
+func (u *Uint64) Add(delta uint64) uint64

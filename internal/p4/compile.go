@@ -293,6 +293,7 @@ func (sw *Switch) execCop(ctx *Ctx, op *cop) {
 	case OpHash:
 		ctx.fields[op.dst] = HashValue(op.hashID, sw.resolve(ctx, op.a)) & op.b.Const & op.dstMask
 	case OpDigest:
+		//stat4:exempt:allocfree a digest hands its values to the control-plane mailbox; the allocation is the message itself, as in hardware's digest slot
 		d := Digest{ID: op.digestID, Values: make([]uint64, len(op.fields))}
 		//stat4:exempt:boundedloop a digest's field list is fixed when the program is emitted
 		for i, f := range op.fields {

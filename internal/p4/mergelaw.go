@@ -1,0 +1,204 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckMergeLaw verifies a program's cross-replica merge discipline — the
+// contract the sharded datapath's snapshot merge relies on. Four laws:
+//
+//  1. Every register declares its merge kind explicitly (SetRegisterMerge):
+//     inheriting MergeSum by zero value is how a derived register silently
+//     gets summed cell-wise across shards.
+//  2. A MergeSum register is only mutated additively: the written value must
+//     derive from a read of the same cell through wrap-around adds, so that
+//     per-replica values sum to the whole. Deliberate overrides (the window
+//     mode's circular-buffer overwrite) carry an ExemptMergeWrite reason.
+//  3. Every name in recomputed — the registers the snapshot canonicalizer
+//     rebuilds from merged counters — exists and is MergeDerived.
+//  4. Every other MergeDerived register carries a MergeWhy note saying why
+//     zero-after-merge is the whole contract.
+//
+// Declared write exemptions that no non-additive write uses are reported as
+// stale. The write analysis is a flow-insensitive may-analysis over the
+// program's actions: a value derives additively from a cell if any chain of
+// OpMov/OpAdd links a read of that cell to the written field. Saturating
+// adds do not qualify (saturation breaks sum-of-parts), nor does any other
+// operator.
+//
+// Findings are returned as sorted strings; an empty slice means the program
+// obeys the law.
+func CheckMergeLaw(prog *Program, recomputed []string) []string {
+	var out []string
+	findf := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+
+	byName := make(map[string]*RegisterDef)
+	for i := range prog.Registers {
+		def := &prog.Registers[i]
+		byName[def.Name] = def
+		if !def.MergeExplicit {
+			findf("register %q does not declare its merge kind; call SetRegisterMerge so the sharded merge cannot mis-sum it", def.Name)
+		}
+	}
+
+	recomputedSet := make(map[string]bool, len(recomputed))
+	for _, name := range recomputed {
+		recomputedSet[name] = true
+		def, ok := byName[name]
+		if !ok {
+			findf("recomputed register %q is not declared by the program", name)
+			continue
+		}
+		if def.Merge != MergeDerived {
+			findf("recomputed register %q is %v; canonicalization must only rebuild MergeDerived state", name, def.Merge)
+		}
+	}
+	for i := range prog.Registers {
+		def := &prog.Registers[i]
+		if def.Merge == MergeDerived && !recomputedSet[def.Name] && def.MergeWhy == "" {
+			findf("MergeDerived register %q is neither recomputed after merge nor documented; add it to the canonicalizer or SetMergeWhy", def.Name)
+		}
+	}
+
+	// Law 2: additive provenance of every MergeSum write. The entry state
+	// of each action is the fixpoint union of every action's exit state
+	// (reads and their write-backs live in different actions in the emitted
+	// programs), but inside an action the walk is flow-sensitive: a
+	// non-additive redefinition kills the field's provenance.
+	entry := fixpointBases(prog)
+	used := make(map[string]bool) // "action\x00register" exemptions exercised
+	for _, a := range prog.Actions {
+		a := a
+		simulateBases(a, entry.clone(), func(op Op, local baseSet) {
+			def, ok := byName[op.Reg]
+			if !ok || def.Merge != MergeSum {
+				return
+			}
+			cell := regCell{reg: op.Reg, idx: op.A}
+			if op.B.Kind == RefField && local[op.B.Field][cell] {
+				return // value = same cell + adds: merge-safe
+			}
+			if _, exempt := prog.MergeWriteExemption(a.Name, op.Reg); exempt {
+				used[a.Name+"\x00"+op.Reg] = true
+				return
+			}
+			findf("action %q writes MergeSum register %q non-additively: the value does not derive from a read of the same cell by wrap-around adds (declare ExemptMergeWrite if the override is the point)",
+				a.Name, op.Reg)
+		})
+	}
+	for _, e := range prog.MergeWriteExemptions() {
+		if !used[e[0]+"\x00"+e[1]] {
+			findf("stale merge-write exemption: action %q has no non-additive write of register %q", e[0], e[1])
+		}
+	}
+
+	sort.Strings(out)
+	return out
+}
+
+// regCell identifies one register cell as named in the program text: the
+// register plus the index reference. Two accesses through the same field or
+// constant index denote the same cell within one packet's execution.
+type regCell struct {
+	reg string
+	idx Ref
+}
+
+// baseSet maps each field to the register cells whose read value flows into
+// it through OpMov/OpAdd chains only — its additive provenance.
+type baseSet map[FieldID]map[regCell]bool
+
+func (b baseSet) clone() baseSet {
+	out := make(baseSet, len(b))
+	for f, cells := range b {
+		cp := make(map[regCell]bool, len(cells))
+		for c := range cells {
+			cp[c] = true
+		}
+		out[f] = cp
+	}
+	return out
+}
+
+// union folds o into b, reporting whether anything was new.
+func (b baseSet) union(o baseSet) bool {
+	changed := false
+	for f, cells := range o {
+		for c := range cells {
+			if b[f] == nil {
+				b[f] = make(map[regCell]bool)
+			}
+			if !b[f][c] {
+				b[f][c] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// simulateBases walks one action's ops flow-sensitively, starting from the
+// given state (mutated in place and returned as the exit state). A register
+// read replaces the destination's provenance with its cell; adds and moves
+// transfer the operands' provenance; any other definition launders the
+// destination. onWrite, if non-nil, observes every OpRegWrite with the state
+// at that point.
+func simulateBases(a *Action, local baseSet, onWrite func(op Op, local baseSet)) baseSet {
+	of := func(r Ref) map[regCell]bool {
+		if r.Kind != RefField {
+			return nil
+		}
+		return local[r.Field]
+	}
+	for _, op := range a.Ops {
+		if op.Code == OpRegWrite {
+			if onWrite != nil {
+				onWrite(op, local)
+			}
+			continue
+		}
+		if op.Dst.Kind != RefField {
+			continue
+		}
+		next := make(map[regCell]bool)
+		switch op.Code {
+		case OpRegRead:
+			next[regCell{reg: op.Reg, idx: op.A}] = true
+		case OpAdd:
+			for c := range of(op.A) {
+				next[c] = true
+			}
+			for c := range of(op.B) {
+				next[c] = true
+			}
+		case OpMov:
+			for c := range of(op.A) {
+				next[c] = true
+			}
+		}
+		local[op.Dst.Field] = next
+	}
+	return local
+}
+
+// fixpointBases computes the cross-action entry state: the union of every
+// action's exit state, iterated until stable, so multi-hop chains resolve
+// regardless of the order actions run in. It over-approximates (a may-
+// analysis): within an action the walk is exact, across actions every
+// execution order is assumed possible.
+func fixpointBases(prog *Program) baseSet {
+	global := make(baseSet)
+	for changed := true; changed; {
+		changed = false
+		for _, a := range prog.Actions {
+			exit := simulateBases(a, global.clone(), nil)
+			if global.union(exit) {
+				changed = true
+			}
+		}
+	}
+	return global
+}

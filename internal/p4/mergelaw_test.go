@@ -1,0 +1,152 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+)
+
+// mergeProg builds a minimal program with one counter register and the
+// given actions, all kinds declared explicitly.
+func mergeProg(t *testing.T, build func(p *Program, idx, v FieldID)) *Program {
+	t.Helper()
+	p := NewProgram("mergelaw")
+	idx := p.AddField("m.idx", 32)
+	v := p.AddField("m.v", 64)
+	p.AddRegister("ctr", 16, 64)
+	p.SetRegisterMerge("ctr", MergeSum)
+	build(p, idx, v)
+	return p
+}
+
+func findingsContaining(fs []string, substr string) int {
+	n := 0
+	for _, f := range fs {
+		if strings.Contains(f, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// A read → add → write chain on the same cell is merge-safe, even when the
+// read and the write-back live in different actions (the emitted programs
+// split them that way).
+func TestMergeLawAdditiveChainAcrossActions(t *testing.T) {
+	p := mergeProg(t, func(p *Program, idx, v FieldID) {
+		p.AddAction(NewAction("load", 0,
+			Mov(idx, C(3)),
+			RegRead(v, "ctr", F(idx)),
+		))
+		p.AddAction(NewAction("bump", 0,
+			Add(v, F(v), C(1)),
+			RegWrite("ctr", F(idx), F(v)),
+		))
+	})
+	if fs := CheckMergeLaw(p, nil); len(fs) != 0 {
+		t.Fatalf("additive chain flagged: %v", fs)
+	}
+}
+
+// Overwriting a MergeSum cell with a constant is non-additive and needs a
+// declared exemption; with one, the program is clean and the exemption is
+// not stale.
+func TestMergeLawNonAdditiveWrite(t *testing.T) {
+	build := func(p *Program, idx, v FieldID) {
+		p.AddAction(NewAction("reset", 0,
+			Mov(idx, C(0)),
+			RegWrite("ctr", F(idx), C(0)),
+		))
+	}
+	p := mergeProg(t, build)
+	fs := CheckMergeLaw(p, nil)
+	if findingsContaining(fs, "non-additively") != 1 {
+		t.Fatalf("constant overwrite not flagged: %v", fs)
+	}
+
+	p = mergeProg(t, build)
+	p.ExemptMergeWrite("reset", "ctr", "interval reset driven by the control plane")
+	if fs := CheckMergeLaw(p, nil); len(fs) != 0 {
+		t.Fatalf("exempted overwrite still flagged: %v", fs)
+	}
+}
+
+// A value laundered through a multiply loses its additive provenance even
+// though a read feeds it.
+func TestMergeLawMultiplyBreaksProvenance(t *testing.T) {
+	p := mergeProg(t, func(p *Program, idx, v FieldID) {
+		p.AddAction(NewAction("square", 0,
+			Mov(idx, C(0)),
+			RegRead(v, "ctr", F(idx)),
+			Mul(v, F(v), F(v)),
+			RegWrite("ctr", F(idx), F(v)),
+		))
+	})
+	if findingsContaining(CheckMergeLaw(p, nil), "non-additively") != 1 {
+		t.Fatalf("multiplied write-back not flagged: %v", CheckMergeLaw(p, nil))
+	}
+}
+
+// Writing a different cell than the one read is not additive: cross-cell
+// moves do not sum across replicas.
+func TestMergeLawCrossCellWrite(t *testing.T) {
+	p := mergeProg(t, func(p *Program, idx, v FieldID) {
+		other := p.AddField("m.other", 32)
+		p.AddAction(NewAction("shift", 0,
+			Mov(idx, C(0)),
+			Mov(other, C(1)),
+			RegRead(v, "ctr", F(idx)),
+			Add(v, F(v), C(1)),
+			RegWrite("ctr", F(other), F(v)),
+		))
+	})
+	if findingsContaining(CheckMergeLaw(p, nil), "non-additively") != 1 {
+		t.Fatalf("cross-cell write not flagged: %v", CheckMergeLaw(p, nil))
+	}
+}
+
+// An exemption no write exercises is stale and reported.
+func TestMergeLawStaleExemption(t *testing.T) {
+	p := mergeProg(t, func(p *Program, idx, v FieldID) {
+		p.AddAction(NewAction("load", 0,
+			Mov(idx, C(0)),
+			RegRead(v, "ctr", F(idx)),
+			Add(v, F(v), C(1)),
+			RegWrite("ctr", F(idx), F(v)),
+		))
+	})
+	p.ExemptMergeWrite("load", "ctr", "declared but the write is additive")
+	if findingsContaining(CheckMergeLaw(p, nil), "stale") != 1 {
+		t.Fatalf("stale exemption not reported: %v", CheckMergeLaw(p, nil))
+	}
+}
+
+// Undeclared kinds, undocumented MergeDerived registers, and bad recompute
+// sets are each their own finding.
+func TestMergeLawDeclarations(t *testing.T) {
+	p := NewProgram("decls")
+	p.AddRegister("implicit", 4, 64)
+	p.AddRegister("derived", 4, 64)
+	p.SetRegisterMerge("derived", MergeDerived)
+	p.AddRegister("summed", 4, 64)
+	p.SetRegisterMerge("summed", MergeSum)
+
+	fs := CheckMergeLaw(p, []string{"missing", "summed"})
+	for _, want := range []string{
+		`register "implicit" does not declare`,
+		`MergeDerived register "derived" is neither recomputed`,
+		`recomputed register "missing" is not declared`,
+		`recomputed register "summed" is MergeSum`,
+	} {
+		if findingsContaining(fs, want) != 1 {
+			t.Errorf("missing finding %q in %v", want, fs)
+		}
+	}
+
+	// A MergeWhy note settles the derived register; a recompute slot would
+	// too.
+	p.SetMergeWhy("derived", "replica-local scratch")
+	fs = CheckMergeLaw(p, nil)
+	if findingsContaining(fs, `"derived"`) != 0 {
+		t.Errorf("documented derived register still flagged: %v", fs)
+	}
+}

@@ -30,6 +30,7 @@ package p4
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Width is a field or register cell width in bits (1..64).
@@ -62,12 +63,36 @@ const (
 	MergeDerived
 )
 
+// String names the kind the way SetRegisterMerge callers write it.
+func (k MergeKind) String() string {
+	switch k {
+	case MergeSum:
+		return "MergeSum"
+	case MergeDerived:
+		return "MergeDerived"
+	}
+	return fmt.Sprintf("MergeKind(%d)", uint8(k))
+}
+
 // RegisterDef declares a register array.
 type RegisterDef struct {
 	Name  string
 	Cells int
 	Width Width
 	Merge MergeKind
+
+	// MergeExplicit records that the program builder declared the merge
+	// kind with SetRegisterMerge rather than inheriting the MergeSum zero
+	// value. The mergelaw static analysis requires every register of a
+	// registered program to declare its kind explicitly, so a forgotten
+	// declaration cannot silently make non-additive state look additive.
+	MergeExplicit bool
+
+	// MergeWhy documents why a MergeDerived register is not recomputed by
+	// the program's snapshot canonicalizer (replica-local scratch, clock-
+	// driven window state, hash-order bucket keys). mergelaw demands either
+	// a place in the canonicalizer's recompute set or this note.
+	MergeWhy string
 }
 
 // Bytes returns the array's memory footprint in bytes, rounding each cell up
@@ -89,6 +114,9 @@ type Program struct {
 	Control   []Stmt
 
 	fieldByName map[string]FieldID
+	// mergeExempt records declared exceptions to the mergelaw write
+	// discipline, keyed by "action\x00register" — see ExemptMergeWrite.
+	mergeExempt map[string]string
 }
 
 // Target is a validation profile describing what the hardware supports.
@@ -153,10 +181,67 @@ func (p *Program) SetRegisterMerge(name string, k MergeKind) {
 	for i := range p.Registers {
 		if p.Registers[i].Name == name {
 			p.Registers[i].Merge = k
+			p.Registers[i].MergeExplicit = true
 			return
 		}
 	}
 	panic(fmt.Sprintf("p4: SetRegisterMerge of undeclared register %q", name))
+}
+
+// SetMergeWhy documents why a MergeDerived register is outside the snapshot
+// canonicalizer's recompute set (see RegisterDef.MergeWhy). Unknown names
+// panic, like the other trusted-builder setters.
+func (p *Program) SetMergeWhy(name, why string) {
+	for i := range p.Registers {
+		if p.Registers[i].Name == name {
+			p.Registers[i].MergeWhy = why
+			return
+		}
+	}
+	panic(fmt.Sprintf("p4: SetMergeWhy of undeclared register %q", name))
+}
+
+// ExemptMergeWrite declares that the named action intentionally writes the
+// named MergeSum register non-additively, with a documented reason — the
+// program-level counterpart of a //stat4:exempt directive. The mergelaw
+// analysis accepts the write but reports exemptions that name an unknown
+// action or register, or that no violation actually uses.
+func (p *Program) ExemptMergeWrite(action, register, reason string) {
+	if reason == "" {
+		panic(fmt.Sprintf("p4: ExemptMergeWrite(%q, %q) needs a reason", action, register))
+	}
+	if p.mergeExempt == nil {
+		p.mergeExempt = make(map[string]string)
+	}
+	p.mergeExempt[action+"\x00"+register] = reason
+}
+
+// MergeWriteExemption returns the declared reason for a non-additive write
+// of register by action, if any.
+func (p *Program) MergeWriteExemption(action, register string) (string, bool) {
+	r, ok := p.mergeExempt[action+"\x00"+register]
+	return r, ok
+}
+
+// MergeWriteExemptions returns every declared exemption as (action,
+// register, reason) triples in deterministic order.
+func (p *Program) MergeWriteExemptions() [][3]string {
+	out := make([][3]string, 0, len(p.mergeExempt))
+	for k, reason := range p.mergeExempt {
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				out = append(out, [3]string{k[:i], k[i+1:], reason})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // AddAction declares an action.

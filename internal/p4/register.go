@@ -29,12 +29,16 @@ func (r *Register) Def() RegisterDef { return r.def }
 //
 //stat4:datapath
 func (r *Register) read(idx uint64) (v uint64, ok bool) {
+	// Explicit unlock: a defer frame per register access is an allocation
+	// in the per-packet hot path (allocfree), and nothing here panics.
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if idx >= uint64(len(r.cells)) {
+		r.mu.RUnlock()
 		return 0, false
 	}
-	return r.cells[idx], true
+	v = r.cells[idx]
+	r.mu.RUnlock()
+	return v, true
 }
 
 // write is the data-plane write. ok is false out of bounds.
@@ -42,11 +46,12 @@ func (r *Register) read(idx uint64) (v uint64, ok bool) {
 //stat4:datapath
 func (r *Register) write(idx, v uint64) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if idx >= uint64(len(r.cells)) {
+		r.mu.Unlock()
 		return false
 	}
 	r.cells[idx] = v & widthMask(r.def.Width)
+	r.mu.Unlock()
 	return true
 }
 

@@ -399,6 +399,7 @@ func (sw *Switch) execStmts(ctx *Ctx, stmts []Stmt) {
 			// scratch is pre-sized at compile time; the guard only fires for
 			// hand-built switches that bypassed compile.
 			if cap(sw.keyScratch) < len(t.def.Keys) {
+				//stat4:exempt:allocfree cold guard for hand-built switches; NewSwitch pre-sizes the scratch so this never runs per packet
 				sw.keyScratch = make([]uint64, len(t.def.Keys))
 			}
 			keys := sw.keyScratch[:len(t.def.Keys)]
@@ -450,11 +451,14 @@ func (sw *Switch) resolve(ctx *Ctx, r Ref) uint64 {
 func (sw *Switch) execAction(ctx *Ctx, a *Action, args []uint64) {
 	saved := ctx.args
 	ctx.args = args
-	defer func() { ctx.args = saved }()
 	//stat4:exempt:boundedloop an action's op list is fixed when the program is emitted; each op is one pipeline primitive
 	for _, op := range a.Ops {
 		sw.execOp(ctx, op)
 	}
+	// Restored in straight line rather than by defer: the deferred closure
+	// captures ctx and allocates per action execution (allocfree), and
+	// execOp has no panic paths to unwind through.
+	ctx.args = saved
 }
 
 // setField writes a metadata field masked to its declared width.
@@ -533,6 +537,7 @@ func (sw *Switch) execOp(ctx *Ctx, op Op) {
 	case OpHash:
 		sw.setField(ctx, op.Dst.Field, HashValue(op.HashID, sw.resolve(ctx, op.A))&op.B.Const)
 	case OpDigest:
+		//stat4:exempt:allocfree a digest hands its values to the control-plane mailbox; the allocation is the message itself, as in hardware's digest slot
 		d := Digest{ID: op.DigestID, Values: make([]uint64, len(op.Fields))}
 		//stat4:exempt:boundedloop a digest's field list is fixed when the program is emitted
 		for i, f := range op.Fields {

@@ -204,8 +204,9 @@ func (t *table) entryCount() int {
 //
 //stat4:datapath
 func (t *table) lookup(keys []uint64) *Entry {
+	// Explicit unlock at the single exit below: a defer frame per lookup
+	// allocates in the per-packet hot path (allocfree).
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var best *Entry
 	bestRank := -1
 	//stat4:exempt:boundedloop simulates the TCAM's single-cycle parallel match over installed entries
@@ -233,6 +234,7 @@ func (t *table) lookup(keys []uint64) *Entry {
 	} else {
 		t.misses.Add(1)
 	}
+	t.mu.RUnlock()
 	return best
 }
 

@@ -267,12 +267,34 @@ func (l *Library) declareRegisters() {
 	// (Σ(f+g)² ≠ Σf² + Σg²), so merged snapshots zero those registers and
 	// CanonicalizeSnapshot recomputes them from the merged counters.
 	l.Prog.AddRegister(RegCounters, cells, w)
+	l.Prog.SetRegisterMerge(RegCounters, p4.MergeSum)
 	l.Prog.AddRegister(RegSquares, cells, w)
 	l.Prog.SetRegisterMerge(RegSquares, p4.MergeDerived)
 	for _, name := range ScalarRegisters {
 		l.Prog.AddRegister(name, l.Opts.Slots, w)
 		l.Prog.SetRegisterMerge(name, p4.MergeDerived)
 	}
+	// The mergelaw pass demands either a slot in CanonicalizeSnapshot's
+	// recompute set or a documented reason for every MergeDerived register.
+	// The moments/variance/median block is recomputed; the rest is not:
+	l.Prog.SetMergeWhy(RegSquares,
+		"squared shadow of the window cells; rebuilt cell-wise by the next win_fold, meaningless across shards")
+	for reg, why := range map[string]string{
+		RegHead:     "circular-buffer cursor, clock-driven and replica-local",
+		RegLastInt:  "interval id being accumulated, clock-driven and replica-local",
+		RegIntInit:  "validity latch for lastint, replica-local",
+		RegCur:      "current-interval accumulator; window merge goes through core.Window.MergeFrom, not cell addition",
+		RegCurSq:    "running square of the current interval; recomputed from cur on the next fold",
+		RegMedMoves: "marker-movement odometer, a per-replica diagnostic",
+	} {
+		l.Prog.SetMergeWhy(reg, why)
+	}
+	// win_fold overwrites the oldest window cell with the completed
+	// interval — the one sanctioned non-additive write to the counter
+	// array. The merged view stays correct because window state merges
+	// through the shared-clock core path, never by summing slots.
+	l.Prog.ExemptMergeWrite("win_fold", RegCounters,
+		"circular-buffer override: the window replaces its oldest slot; slots merge via core.Window, not cell addition")
 }
 
 // Binding action parameter layout (shared prefix):

@@ -1,0 +1,57 @@
+package stat4p4
+
+// The registered-program catalog: every library configuration and example
+// sizing the repo ships is listed here, so whole-program gates — the
+// stage-budget allocation in internal/p4/stagealloc.go, the merge-law checks
+// — run over all of them rather than whichever configuration a test happens
+// to build. cmd/stat4-lint iterates this catalog; adding a configuration
+// here puts it under the feasibility gate.
+
+// RegisteredProgram is one catalog entry: a named Options sizing plus where
+// the sizing comes from.
+type RegisteredProgram struct {
+	Name string
+	Opts Options
+	Note string
+}
+
+// Registered returns the catalog, in a stable order: the library's own
+// configuration axes first, then the example/application sizings shipped in
+// configs/ and cmd/.
+func Registered() []RegisteredProgram {
+	return []RegisteredProgram{
+		{Name: "default", Opts: DefaultOptions,
+			Note: "DefaultOptions: 8 slots x 256 cells, two binding stages"},
+		{Name: "echo", Opts: Options{Slots: 1, Size: 512, Stages: 1, Echo: true},
+			Note: "Figure 5 echo application (cmd/stat4-echo sizing)"},
+		{Name: "strict", Opts: Options{Slots: 8, Size: 256, Stages: 2, Strict: true},
+			Note: "TargetStrict emission: shift-approximated variance"},
+		{Name: "cell32", Opts: Options{Slots: 2, Size: 256, Stages: 2, CellWidth: 32},
+			Note: "deployable 32-bit-cell sizing used by the resource analysis"},
+		{Name: "novariance", Opts: Options{Slots: 8, Size: 256, Stages: 2, NoVariance: true},
+			Note: "circular-buffer override only (the paper's 12-step chain)"},
+		{Name: "sparse", Opts: Options{Slots: 1, Size: 64, Stages: 1, Sparse: true},
+			Note: "Section 5 hash-bucket mode, minimal sizing"},
+		{Name: "casestudy", Opts: Options{Slots: 2, Size: 256, Stages: 2},
+			Note: "configs/casestudy.json"},
+		{Name: "ddos-sparse", Opts: Options{Slots: 1, Size: 256, Stages: 1, Sparse: true},
+			Note: "configs/ddos-sparse.json"},
+		{Name: "synflood", Opts: Options{Slots: 1, Size: 64, Stages: 1},
+			Note: "configs/synflood.json"},
+		{Name: "replay", Opts: Options{Slots: 1, Size: 256, Stages: 1},
+			Note: "cmd/stat4-replay sizing"},
+	}
+}
+
+// RecomputedRegisters lists the MergeDerived registers CanonicalizeSnapshot
+// recomputes from the merged counters — the per-slot scalar block of a
+// frequency slot. Every other MergeDerived register must carry a MergeWhy
+// note explaining why zero-after-merge is the whole contract (window state
+// merges through the shared-clock core.Window path; sparse bucket keys are
+// replica-local). The mergelaw analyzer checks exactly this partition.
+func (l *Library) RecomputedRegisters() []string {
+	return []string{
+		RegN, RegXsum, RegXsumsq, RegVar, RegSD,
+		RegMed, RegLow, RegHigh, RegMedInit,
+	}
+}

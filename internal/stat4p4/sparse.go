@@ -38,9 +38,14 @@ func (l *Library) declareSparse() {
 	// combined cell-wise. Rejection counts are plain sums.
 	l.Prog.AddRegister(RegKeys, cells, 64)
 	l.Prog.SetRegisterMerge(RegKeys, p4.MergeDerived)
+	l.Prog.SetMergeWhy(RegKeys,
+		"hash-bucket key ownership is replica-local; shards claim different keys for the same cell")
 	l.Prog.AddRegister(RegUsedBits, cells, l.Opts.CellWidth)
 	l.Prog.SetRegisterMerge(RegUsedBits, p4.MergeDerived)
+	l.Prog.SetMergeWhy(RegUsedBits,
+		"bucket-occupancy latch for the replica-local key table")
 	l.Prog.AddRegister(RegRejected, l.Opts.Slots, l.Opts.CellWidth)
+	l.Prog.SetRegisterMerge(RegRejected, p4.MergeSum)
 
 	common := []p4.Op{
 		p4.Mov(f.base, p4.P(0)),
