@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench fuzz-smoke metrics-smoke check clean
+.PHONY: all build test race vet lint bench fuzz-smoke metrics-smoke stat4d-smoke check clean
 
 all: build
 
@@ -43,7 +43,7 @@ lint:
 # lower-variance numbers.
 BENCHN ?= 1
 BENCHCOUNT ?= 1
-BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch|Sharded|Sim|InjectStream)
+BENCHFILTER ?= Benchmark(Table2|Table3|EchoValidation|CaseStudy|ResourceAnalysis|ArchComparison|Switch|Sharded|Sim|InjectStream|RingPush|IngestHandoff|Stat4dE2E)
 bench:
 	$(GO) test -run=^$$ -bench '$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_latest.txt
 	$(GO) run ./cmd/stat4-bench $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_$(BENCHN).json bench_latest.txt
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/stat4p4/
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=$(FUZZTIME) ./internal/p4/
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerEquivalence -fuzztime=$(FUZZTIME) ./internal/netem/
+	$(GO) test -run=^$$ -fuzz=FuzzRingFIFO -fuzztime=$(FUZZTIME) ./internal/ring/
 
 # metrics-smoke replays a small synthetic capture with telemetry attached and
 # asserts the Prometheus-style exposition parses (integer-only, quantiles from
@@ -66,7 +67,14 @@ fuzz-smoke:
 metrics-smoke:
 	$(GO) test -run TestMetricsSmoke -v ./cmd/stat4-replay
 
-check: build vet lint race fuzz-smoke metrics-smoke
+# stat4d-smoke boots the daemon in-process with pcap + TCP + unix-socket
+# sources, streams frames over every listener, exercises the whole HTTP
+# control plane (metrics scrape, snapshot, drill-down, runtime rebinding) and
+# drains — the live-ingest end-to-end gate.
+stat4d-smoke:
+	$(GO) test -run 'TestDaemonSmoke|TestPushClientRoundTrip' -v ./cmd/stat4d
+
+check: build vet lint race fuzz-smoke metrics-smoke stat4d-smoke
 
 clean:
 	rm -rf bin

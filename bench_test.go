@@ -6,16 +6,20 @@
 package stat4
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"stat4/internal/core"
 	"stat4/internal/experiments"
+	"stat4/internal/ingest"
 	"stat4/internal/intstat"
 	"stat4/internal/netem"
 	"stat4/internal/p4"
 	"stat4/internal/packet"
+	"stat4/internal/ring"
 	"stat4/internal/stat4p4"
 	"stat4/internal/traffic"
 )
@@ -721,5 +725,120 @@ func BenchmarkInjectStreamE2E(b *testing.B) {
 				b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
 			})
 		}
+	}
+}
+
+// --- the ingest plane (internal/ring, internal/ingest, stat4d) ---------------
+
+// BenchmarkRingPush measures the raw descriptor handoff: one TryPush plus one
+// TryPop per op, ping-pong on the same goroutine so the numbers isolate the
+// ring algebra (no scheduler noise). The MPSC variant pays two extra atomics
+// for multi-producer safety.
+func BenchmarkRingPush(b *testing.B) {
+	b.Run("spsc", func(b *testing.B) {
+		r := ring.NewSPSC(256)
+		var d ring.Desc
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.TryPush(ring.Desc{Block: uint32(i), N: 1, Seq: uint64(i)})
+			r.TryPop(&d)
+		}
+	})
+	b.Run("mpsc", func(b *testing.B) {
+		r := ring.NewMPSC(256)
+		var d ring.Desc
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.TryPush(ring.Desc{Block: uint32(i), N: 1, Seq: uint64(i)})
+			r.TryPop(&d)
+		}
+	})
+}
+
+// ingestBenchEngine wires an engine over a k=0 dst24 binding (digest-free, so
+// the steady state stays allocation-free).
+func ingestBenchEngine(b *testing.B, shards int, cfg ingest.Config) *ingest.Engine {
+	b.Helper()
+	sr := newShardedBench(b, shards)
+	e := ingest.New(sr, cfg)
+	b.Cleanup(e.Stop)
+	return e
+}
+
+// BenchmarkIngestHandoff drives the full producer → MPSC ring → consumer →
+// sharded datapath path with the stat4d machinery: frames are copied into
+// slab blocks, descriptors cross the ring, and the consumer feeds the shard
+// rings. Lossless (AddWait), so every op processes exactly the batch.
+func BenchmarkIngestHandoff(b *testing.B) {
+	batch := shardedBenchBatch(4096)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := ingestBenchEngine(b, shards, ingest.Config{BatchFrames: 256})
+			p := e.NewProducer()
+			defer p.Close()
+			push := func() {
+				for _, fr := range batch {
+					p.AddWait(fr.TsNs, fr.Port, fr.Data)
+				}
+				p.FlushWait()
+			}
+			done := uint64(0)
+			push()
+			done += uint64(len(batch))
+			for e.Frames() < done {
+				runtime.Gosched()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				push()
+				done += uint64(len(batch))
+				for e.Frames() < done {
+					runtime.Gosched()
+				}
+			}
+			b.ReportMetric(float64(len(batch)), "pkts/op")
+		})
+	}
+}
+
+// BenchmarkStat4dE2E adds the wire protocol on top: each op encodes the batch
+// as length-prefixed records, streams it through ServeConn over an in-memory
+// pipe, and waits for the datapath to absorb it — the full daemon path minus
+// the kernel socket.
+func BenchmarkStat4dE2E(b *testing.B) {
+	batch := shardedBenchBatch(4096)
+	var wire bytes.Buffer
+	for _, fr := range batch {
+		if err := ingest.WriteRecord(&wire, fr.TsNs, fr.Port, fr.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blob := wire.Bytes()
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := ingestBenchEngine(b, shards, ingest.Config{BatchFrames: 256})
+			done := uint64(0)
+			op := func() {
+				if _, err := e.ServeConn(bytes.NewReader(blob)); err != nil {
+					b.Fatal(err)
+				}
+				done += uint64(len(batch))
+				// ServeConn uses the shedding Add; account shed frames so a
+				// saturated run still terminates.
+				for {
+					_, shed := e.Shed()
+					if e.Frames()+shed >= done {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+			op()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+			b.ReportMetric(float64(len(batch)), "pkts/op")
+		})
 	}
 }

@@ -23,16 +23,18 @@ import (
 )
 
 // Result is one benchmark's averaged measurements. Baseline fields are
-// pointers so benchmarks absent from the -baseline file serialize without
-// fabricated zeros.
+// pointers serialized WITHOUT omitempty: a benchmark absent from the
+// -baseline file shows an explicit `"baseline_ns_op": null` rather than a
+// silently missing key, so artifact consumers can tell "no baseline existed"
+// apart from "field not produced by this tool version".
 type Result struct {
 	Name     string  `json:"name"`
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
 	BytesOp  float64 `json:"bytes_op"`
 
-	BaselineNsOp     *float64 `json:"baseline_ns_op,omitempty"`
-	BaselineAllocsOp *float64 `json:"baseline_allocs_op,omitempty"`
+	BaselineNsOp     *float64 `json:"baseline_ns_op"`
+	BaselineAllocsOp *float64 `json:"baseline_allocs_op"`
 	// NsDeltaPct is (ns_op - baseline_ns_op) / baseline_ns_op * 100;
 	// negative means faster than the baseline. Omitted (nil) when the
 	// baseline is zero or not finite: a relative change against a zero

@@ -122,6 +122,49 @@ func TestMergeZeroBaseline(t *testing.T) {
 	}
 }
 
+// A benchmark with no baseline must serialize an explicit
+// `"baseline_ns_op": null` (not drop the key) and sort after every baselined
+// row, so artifact readers see the absence instead of inferring it.
+func TestNoBaselineSerializesNull(t *testing.T) {
+	after, err := parseBench(strings.NewReader(
+		"BenchmarkNewOne-8 1000 100 ns/op 0 B/op 0 allocs/op\n" +
+			"BenchmarkTracked-8 1000000 500 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := parseBench(strings.NewReader(
+		"BenchmarkTracked-8 700000 1000 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge(after, before)
+
+	if after[len(after)-1].Name != "NewOne" {
+		t.Fatalf("no-baseline benchmark must sort last, order: %q, %q", after[0].Name, after[1].Name)
+	}
+	blob, err := json.Marshal(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	for _, key := range []string{"baseline_ns_op", "baseline_allocs_op"} {
+		raw, present := last[key]
+		if !present {
+			t.Fatalf("no-baseline row omits %q entirely, want explicit null:\n%s", key, blob)
+		}
+		if string(raw) != "null" {
+			t.Fatalf("no-baseline row %s = %s, want null", key, raw)
+		}
+	}
+	if _, present := last["ns_delta_pct"]; present {
+		t.Fatal("no-baseline row must not carry a delta")
+	}
+}
+
 func TestDeltaPct(t *testing.T) {
 	if d := deltaPct(150, 100); d == nil || *d != 50 {
 		t.Fatalf("deltaPct(150,100) = %v, want 50", d)

@@ -20,6 +20,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 
+	"stat4/internal/ingest"
 	"stat4/internal/p4"
 	"stat4/internal/packet"
 	"stat4/internal/stat4p4"
@@ -39,6 +40,7 @@ func main() {
 	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
 	configPath := flag.String("config", "", "JSON app config (overrides -track and friends)")
 	shards := flag.Int("shards", 1, "replicate the datapath over N flow-hash shards (RSS-style dispatch)")
+	ringFeed := flag.Bool("ring", false, "feed shards through the stat4d ingest ring instead of direct batches (lossless)")
 	metrics := flag.Bool("metrics", false, "print the telemetry exposition after the replay")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the replay")
@@ -64,13 +66,19 @@ func main() {
 	if *shards < 1 {
 		log.Fatal("-shards must be at least 1")
 	}
-	if *shards > 1 {
+	if *shards > 1 || *ringFeed {
 		if *configPath != "" {
 			log.Fatal("-shards is not supported with -config (bindings come from the track flags)")
 		}
 		base, err := parseAddr(*basePrefix)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *ringFeed {
+			if err := replayRing(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, *shards, *metrics, *metricsOut); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		sm := newShardedMetrics(*shards, *metrics || *metricsOut != "")
 		if err := replaySharded(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, *shards, sm); err != nil {
@@ -300,19 +308,7 @@ func replaySharded(path, track string, shift uint, window int, k, dst24Base uint
 		return err
 	}
 	defer sr.Close()
-	switch track {
-	case "window":
-		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
-	case "dst24":
-		_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
-	case "proto":
-		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
-	case "len":
-		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
-	default:
-		return fmt.Errorf("unknown -track %q", track)
-	}
-	if err != nil {
+	if err := bindSharded(sr, track, shift, window, k, dst24Base); err != nil {
 		return err
 	}
 
@@ -407,6 +403,99 @@ func replaySharded(path, track string, shift uint, window int, k, dst24Base uint
 		}
 		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
 			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+	}
+	return nil
+}
+
+// bindSharded applies one -track binding to a sharded runtime.
+func bindSharded(sr *stat4p4.ShardedRuntime, track string, shift uint, window int, k, dst24Base uint64) error {
+	var err error
+	switch track {
+	case "window":
+		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
+	case "dst24":
+		_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
+	case "proto":
+		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
+	case "len":
+		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
+	default:
+		err = fmt.Errorf("unknown -track %q", track)
+	}
+	return err
+}
+
+// replayRing replays the capture through the stat4d ingest plane: frames go
+// producer → MPSC ring → consumer → sharded datapath, losslessly (AddWait),
+// and the end-of-run measures come from the engine's merged control-plane
+// reads. The numbers must match what replaySharded prints for the same
+// capture — the ring is invisible to the statistics.
+func replayRing(path, track string, shift uint, window int, k, dst24Base uint64, shards int, prom bool, jsonPath string) error {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	sr, err := stat4p4.NewShardedRuntime(lib, shards)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	if err := bindSharded(sr, track, shift, window, k, dst24Base); err != nil {
+		return err
+	}
+
+	e := ingest.New(sr, ingest.Config{})
+	frames, err := e.PlaySource(path, 1, true)
+	if err != nil {
+		e.Stop()
+		return err
+	}
+	e.Stop() // drains every committed batch before returning
+
+	st := sr.Sharded().Stats()
+	fmt.Printf("replayed %d frames through the ingest ring (%d parse errors) over %d shards\n",
+		frames, st.ParseErrors, shards)
+	for i := 0; i < shards; i++ {
+		fmt.Printf("  shard %d: %d frames\n", i, sr.Sharded().Shard(i).Stats().PktsIn)
+	}
+	if sb, sf := e.Shed(); sb != 0 || sf != 0 {
+		return fmt.Errorf("lossless replay shed %d batches / %d frames", sb, sf)
+	}
+	if track == "window" {
+		for i := 0; i < shards; i++ {
+			m, _ := sr.ShardRuntime(i).ReadMoments(0)
+			fmt.Printf("  shard %d window: N=%d Xsum=%d var=%d sd=%d\n", i, m.N, m.Xsum, m.Var, m.SD)
+		}
+	} else {
+		m, err := e.MergedMoments(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracked %q (merged): N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
+			track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
+	}
+	alerts, total := e.Alerts()
+	fmt.Printf("%d anomaly alerts\n", total)
+	for i, d := range alerts {
+		if i == 10 {
+			fmt.Printf("  ... %d more retained\n", len(alerts)-10)
+			break
+		}
+		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
+			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+	}
+	if prom {
+		if err := e.WriteProm(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := e.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

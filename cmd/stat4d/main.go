@@ -1,0 +1,485 @@
+// Command stat4d runs the Stat4 switch as a long-lived daemon: any number of
+// ingest streams (pcap sources, TCP or unix-socket frame feeds) fan through a
+// lock-free MPSC ring into the sharded datapath, while an HTTP control plane
+// serves telemetry, merged register snapshots, drill-down counter reads,
+// binding updates and the alert log. SIGTERM/SIGINT drains the ring before
+// exit so every committed frame reaches the statistics.
+//
+//	stat4d -shards 4 -listen :9414 -http :9415 -track dst24 -k 2
+//	stat4d -http :9415 -pcap trace.pcap            # play a capture and serve
+//	stat4d -push trace.pcap -connect host:9414     # client: stream a capture
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+
+	"stat4/internal/ingest"
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stat4d: ")
+
+	var cfg daemonConfig
+	flag.IntVar(&cfg.Shards, "shards", 1, "replicate the datapath over N flow-hash shards")
+	flag.StringVar(&cfg.Listen, "listen", "", "TCP address accepting length-prefixed frame streams")
+	flag.StringVar(&cfg.Unix, "unix", "", "unix socket path accepting frame streams")
+	flag.StringVar(&cfg.HTTP, "http", "", "HTTP control-plane address (/metrics, /snapshot, /bind, ...)")
+	flag.StringVar(&cfg.Pcap, "pcap", "", "pcap file or directory to play at startup (lossless)")
+	flag.StringVar(&cfg.Track, "track", "dst24", "statistic to bind: window | dst24 | proto | len | none")
+	flag.UintVar(&cfg.Shift, "interval-shift", 23, "window interval exponent (2^shift ns)")
+	flag.IntVar(&cfg.Window, "window", 100, "window length in intervals")
+	flag.Uint64Var(&cfg.K, "k", 0, "sigma multiplier for the anomaly check (0 disables)")
+	flag.StringVar(&cfg.BasePrefix, "base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
+	flag.IntVar(&cfg.RingCap, "ring-cap", 256, "ingest ring capacity in batch descriptors")
+	flag.IntVar(&cfg.SlabBlocks, "slab-blocks", 256, "frame slab block count")
+	flag.IntVar(&cfg.BlockSize, "block-size", 32<<10, "frame slab block size in bytes")
+	flag.IntVar(&cfg.Batch, "batch", 256, "frames per batch descriptor")
+	push := flag.String("push", "", "client mode: stream this pcap to -connect and exit")
+	connect := flag.String("connect", "", "client mode: daemon frame-stream address (host:port or unix path)")
+	flag.Parse()
+
+	if *push != "" {
+		if err := pushPcap(*push, *connect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.start(); err != nil {
+		log.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	log.Printf("%v: draining", s)
+	d.shutdown()
+	st := d.engine.Stats()
+	log.Printf("served %d frames in %d batches (%d shed), %d alerts",
+		st.Frames, st.Batches, st.ShedFrames, st.AlertsTotal)
+}
+
+// daemonConfig is everything a daemon instance needs, flag-free so the smoke
+// test constructs one in-process.
+type daemonConfig struct {
+	Shards     int
+	Listen     string // TCP frame-stream address, "" to disable
+	Unix       string // unix-socket frame-stream path, "" to disable
+	HTTP       string // control-plane address, "" to disable
+	Pcap       string // startup capture source, "" to skip
+	Track      string
+	Shift      uint
+	Window     int
+	K          uint64
+	BasePrefix string
+	RingCap    int
+	SlabBlocks int
+	BlockSize  int
+	Batch      int
+}
+
+// daemon is one running stat4d instance: the bound sharded runtime, the
+// ingest engine in front of it, and the listeners feeding it.
+type daemon struct {
+	cfg    daemonConfig
+	rt     *stat4p4.ShardedRuntime
+	engine *ingest.Engine
+
+	listeners []net.Listener
+	httpSrv   *http.Server
+	httpAddr  string
+	conns     sync.WaitGroup
+	serving   sync.WaitGroup
+}
+
+// newDaemon builds the runtime, applies the -track binding, and wires the
+// ingest engine. Listeners are not opened until start.
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("shards must be at least 1")
+	}
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	sr, err := stat4p4.NewShardedRuntime(lib, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := bindTrack(sr, cfg); err != nil {
+		sr.Close()
+		return nil, err
+	}
+	e := ingest.New(sr, ingest.Config{
+		RingCap:     cfg.RingCap,
+		SlabBlocks:  cfg.SlabBlocks,
+		BlockSize:   cfg.BlockSize,
+		BatchFrames: cfg.Batch,
+	})
+	return &daemon{cfg: cfg, rt: sr, engine: e}, nil
+}
+
+// bindTrack installs the startup statistic, mirroring stat4-replay's -track
+// family. "none" starts unbound; /bind takes it from there.
+func bindTrack(sr *stat4p4.ShardedRuntime, cfg daemonConfig) error {
+	var err error
+	switch cfg.Track {
+	case "none":
+	case "window":
+		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), cfg.Shift, cfg.Window, cfg.K)
+	case "dst24":
+		var base packet.IP4
+		base, err = parseAddr(cfg.BasePrefix)
+		if err == nil {
+			_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, uint64(base)>>8, 256, 1, 1, cfg.K)
+		}
+	case "proto":
+		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, cfg.K)
+	case "len":
+		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, cfg.K)
+	default:
+		err = fmt.Errorf("unknown track %q", cfg.Track)
+	}
+	return err
+}
+
+// start opens the listeners and plays the startup capture. It returns once
+// everything is accepting; serving continues on background goroutines.
+func (d *daemon) start() error {
+	if d.cfg.Listen != "" {
+		ln, err := net.Listen("tcp", d.cfg.Listen)
+		if err != nil {
+			return err
+		}
+		d.listeners = append(d.listeners, ln)
+		d.serving.Add(1)
+		go d.acceptLoop(ln)
+		log.Printf("frame streams on tcp %s", ln.Addr())
+	}
+	if d.cfg.Unix != "" {
+		_ = os.Remove(d.cfg.Unix)
+		ln, err := net.Listen("unix", d.cfg.Unix)
+		if err != nil {
+			return err
+		}
+		d.listeners = append(d.listeners, ln)
+		d.serving.Add(1)
+		go d.acceptLoop(ln)
+		log.Printf("frame streams on unix %s", d.cfg.Unix)
+	}
+	if d.cfg.HTTP != "" {
+		ln, err := net.Listen("tcp", d.cfg.HTTP)
+		if err != nil {
+			return err
+		}
+		d.httpSrv = &http.Server{Handler: d.mux()}
+		d.httpAddr = ln.Addr().String()
+		d.serving.Add(1)
+		go func() {
+			defer d.serving.Done()
+			if err := d.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
+			}
+		}()
+		log.Printf("control plane on http://%s", ln.Addr())
+	}
+	if d.cfg.Pcap != "" {
+		n, err := d.engine.PlaySource(d.cfg.Pcap, 1, true)
+		if err != nil {
+			return fmt.Errorf("pcap source: %w", err)
+		}
+		log.Printf("played %d frames from %s", n, d.cfg.Pcap)
+	}
+	return nil
+}
+
+// acceptLoop serves one listener until it is closed by shutdown.
+func (d *daemon) acceptLoop(ln net.Listener) {
+	defer d.serving.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.conns.Add(1)
+		go func() {
+			defer d.conns.Done()
+			defer conn.Close()
+			n, err := d.engine.ServeConn(conn)
+			if err != nil {
+				log.Printf("stream %s: %v after %d records", conn.RemoteAddr(), err, n)
+			}
+		}()
+	}
+}
+
+// shutdown is the drain sequence: stop accepting, wait for in-flight
+// streams, stop the engine (drains the ring), then close the runtime.
+func (d *daemon) shutdown() {
+	for _, ln := range d.listeners {
+		ln.Close()
+	}
+	if d.httpSrv != nil {
+		d.httpSrv.Shutdown(context.Background())
+	}
+	d.conns.Wait()
+	d.serving.Wait()
+	d.engine.Stop()
+	d.rt.Close()
+	if d.cfg.Unix != "" {
+		_ = os.Remove(d.cfg.Unix)
+	}
+}
+
+// mux routes the control plane. Every handler reads through Engine.Do, so
+// nothing here ever races a batch in flight.
+func (d *daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := d.engine.WriteProm(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.engine.WriteJSON(w); err != nil {
+			log.Printf("metrics.json: %v", err)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.engine.Stats())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.engine.MergedSnapshot())
+	})
+	mux.HandleFunc("/moments", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := intParam(r, "slot", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		m, err := d.engine.MergedMoments(slot)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := intParam(r, "slot", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := intParam(r, "n", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cells, err := d.engine.MergedCounters(slot, n)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"slot": slot, "cells": cells})
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		recent, total := d.engine.Alerts()
+		type alert struct {
+			Slot      uint64 `json:"slot"`
+			Value     uint64 `json:"value"`
+			Nx        uint64 `json:"n_times_x"`
+			Threshold uint64 `json:"threshold"`
+			TsNs      uint64 `json:"ts_ns"`
+		}
+		out := struct {
+			Total  uint64  `json:"total"`
+			Recent []alert `json:"recent"`
+		}{Total: total}
+		for _, dg := range recent {
+			if len(dg.Values) < 5 {
+				continue
+			}
+			out.Recent = append(out.Recent, alert{
+				Slot: dg.Values[0], Value: dg.Values[1],
+				Nx: dg.Values[2], Threshold: dg.Values[3], TsNs: dg.Values[4],
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/bind", d.handleBind)
+	return mux
+}
+
+// bindRequest is the /bind POST body — the -track family as a wire message,
+// plus unbind and slot reset.
+type bindRequest struct {
+	Mode  string `json:"mode"` // window | dst24 | proto | len | unbind | reset
+	Stage int    `json:"stage"`
+	Slot  int    `json:"slot"`
+	// Window parameters.
+	IntervalShift uint `json:"interval_shift"`
+	Window        int  `json:"window"`
+	// Frequency parameters.
+	Base string `json:"base"` // dst24: dotted-quad /16 base
+	Size int    `json:"size"`
+	Pa   uint64 `json:"pa"`
+	Pb   uint64 `json:"pb"`
+	K    uint64 `json:"k"`
+	// Unbind target.
+	Entry uint64 `json:"entry"`
+}
+
+// handleBind applies one control-plane table update on the consumer, exactly
+// like a controller reprogramming a running switch.
+func (d *daemon) handleBind(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req bindRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Size <= 0 {
+		req.Size = 256
+	}
+	if req.Pa == 0 && req.Pb == 0 {
+		req.Pa, req.Pb = 1, 1
+	}
+	if req.Window <= 0 {
+		req.Window = 100
+	}
+	if req.IntervalShift == 0 {
+		req.IntervalShift = 23
+	}
+	var id p4.EntryID
+	var err error
+	d.engine.Do(func() {
+		sr := d.engine.Runtime()
+		switch req.Mode {
+		case "window":
+			id, err = sr.BindWindow(req.Stage, req.Slot, stat4p4.AllIPv4(), req.IntervalShift, req.Window, req.K)
+		case "dst24":
+			base := req.Base
+			if base == "" {
+				base = "10.0.0.0"
+			}
+			var ip packet.IP4
+			ip, err = parseAddr(base)
+			if err == nil {
+				id, err = sr.BindFreqDst(req.Stage, req.Slot, stat4p4.AllIPv4(), 8, uint64(ip)>>8, req.Size, req.Pa, req.Pb, req.K)
+			}
+		case "proto":
+			id, err = sr.BindFreqProto(req.Stage, req.Slot, stat4p4.AllIPv4(), 0, req.Size, req.Pa, req.Pb, req.K)
+		case "len":
+			id, err = sr.BindFreqLen(req.Stage, req.Slot, stat4p4.AllIPv4(), 6, 0, req.Size, req.Pa, req.Pb, req.K)
+		case "unbind":
+			err = sr.Unbind(req.Stage, p4.EntryID(req.Entry))
+		case "reset":
+			err = sr.ResetSlot(req.Slot)
+		default:
+			err = fmt.Errorf("unknown mode %q", req.Mode)
+		}
+	})
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"entry": uint64(id)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// parseAddr parses a dotted-quad IPv4 address.
+func parseAddr(s string) (packet.IP4, error) {
+	var a, b, c, d byte
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad address %q: %v", s, err)
+	}
+	return packet.ParseIP4(a, b, c, d), nil
+}
+
+// pushPcap is the client half: stream a capture to a running daemon over the
+// frame-stream protocol. addr is host:port, or a filesystem path for unix
+// sockets.
+func pushPcap(path, addr string) error {
+	if addr == "" {
+		return errors.New("-push requires -connect")
+	}
+	network := "tcp"
+	if _, err := os.Stat(addr); err == nil {
+		network = "unix"
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := packet.NewPcapReader(f)
+	var n uint64
+	for {
+		ts, frame, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := ingest.WriteRecord(conn, ts, 1, frame); err != nil {
+			return err
+		}
+		n++
+	}
+	log.Printf("pushed %d frames to %s", n, addr)
+	return nil
+}

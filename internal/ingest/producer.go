@@ -1,0 +1,124 @@
+package ingest
+
+import (
+	"runtime"
+
+	"stat4/internal/ring"
+)
+
+// Producer batches frames into slab blocks for one ingest stream. Each
+// producer owns at most one block at a time and is single-goroutine; any
+// number of producers feed the same engine concurrently. Frames are copied
+// into the block at Add time, so the caller's frame buffer is free for reuse
+// immediately.
+type Producer struct {
+	e        *Engine
+	block    uint32
+	hasBlock bool
+	buf      []byte
+	n        uint32
+}
+
+// NewProducer returns a producer feeding e.
+func (e *Engine) NewProducer() *Producer { return &Producer{e: e} }
+
+// Add appends one frame to the current batch, handing the batch off when it
+// reaches the configured size or the block fills. It never blocks: when the
+// slab is exhausted, the ring refuses the handoff, or the frame cannot fit
+// an empty block, the frame (or batch) is shed and counted — the daemon's
+// overload posture. Reports whether the frame was accepted.
+//
+//stat4:datapath
+func (p *Producer) Add(tsNs uint64, port uint16, frame []byte) bool {
+	return p.add(tsNs, port, frame, false)
+}
+
+// AddWait is Add for lossless bulk loads (pcap replays): instead of
+// shedding on a full ring or exhausted slab it yields and retries, so the
+// only refusal left is a frame too large for an empty block. Mixing AddWait
+// producers with a stopped engine deadlocks; keep it to bounded loads that
+// finish before Stop.
+func (p *Producer) AddWait(tsNs uint64, port uint16, frame []byte) bool {
+	return p.add(tsNs, port, frame, true)
+}
+
+//stat4:datapath
+//stat4:exempt:boundedloop one extra pass after a full-block flush, plus wait-mode retries bounded by the consumer draining
+func (p *Producer) add(tsNs uint64, port uint16, frame []byte, wait bool) bool {
+	for {
+		if !p.hasBlock {
+			idx, ok := p.e.slab.TryAcquire()
+			if !ok {
+				if wait {
+					runtime.Gosched()
+					continue
+				}
+				p.e.shedFrames.Add(1)
+				return false
+			}
+			p.block, p.hasBlock, p.n = idx, true, 0
+			p.buf = p.e.slab.Bytes(idx)[:0]
+		}
+		buf, ok := ring.AppendFrame(p.buf, tsNs, port, frame)
+		if ok {
+			p.buf = buf
+			p.n++
+			if int(p.n) >= p.e.cfg.BatchFrames {
+				p.flush(wait)
+			}
+			return true
+		}
+		if p.n == 0 {
+			// Does not fit an empty block: malformed/oversized, never accepted.
+			p.e.shedFrames.Add(1)
+			return false
+		}
+		p.flush(wait) // block full: hand it off, land the frame in a fresh one
+	}
+}
+
+// Flush hands off the current partial batch, shedding it (with its frames
+// counted) if the ring refuses. Call it at stream idle points so short
+// bursts reach the datapath without waiting for a full batch.
+func (p *Producer) Flush() { p.flush(false) }
+
+// FlushWait is Flush with the AddWait posture: it retries until the ring
+// accepts.
+func (p *Producer) FlushWait() { p.flush(true) }
+
+//stat4:datapath
+//stat4:exempt:boundedloop the retry loop runs only in wait mode, bounded by the consumer draining the ring
+func (p *Producer) flush(wait bool) {
+	if !p.hasBlock || p.n == 0 {
+		return
+	}
+	for {
+		if p.e.ring.TryPush(ring.Desc{Block: p.block, N: p.n}) {
+			p.e.parker.Unpark()
+			break
+		}
+		if wait {
+			runtime.Gosched()
+			continue
+		}
+		p.e.shedBatches.Add(1)
+		p.e.shedFrames.Add(uint64(p.n))
+		p.e.slab.Release(p.block)
+		break
+	}
+	p.hasBlock = false
+	p.buf = nil
+	p.n = 0
+}
+
+// Close flushes the pending batch (shedding it if the ring refuses) and
+// returns any empty held block to the slab. The producer is dead after
+// Close.
+func (p *Producer) Close() {
+	p.flush(false)
+	if p.hasBlock {
+		p.e.slab.Release(p.block)
+		p.hasBlock = false
+		p.buf = nil
+	}
+}

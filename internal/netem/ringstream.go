@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"stat4/internal/packet"
+	"stat4/internal/ring"
+	"stat4/internal/traffic"
+)
+
+// RingStream adapts an ingest ring + frame slab into a traffic.Stream, so a
+// simulation can be fed by the same producer-side machinery the stat4d
+// daemon uses (ring.AppendFrame into slab blocks, descriptors over the MPSC
+// ring) instead of a synthetic generator. The stream ends when the ring is
+// empty — fill it completely before injecting, or keep producing strictly
+// ahead of the simulation.
+//
+// Ownership mirrors the ingest consumer: the scratch packet handed out by
+// Next aliases the current slab block, and the block is only released after
+// the last frame in it has been returned AND the next Next call arrives. The
+// stream-pump contract makes this safe — the node fully processes a packet
+// before pulling the next one — but callers must not retain the Pkt across
+// Next calls.
+type RingStream struct {
+	ring *ring.MPSC
+	slab *ring.Slab
+
+	it      ring.FrameIter
+	block   uint32
+	has     bool
+	scratch packet.Packet
+	dropped uint64
+}
+
+// NewRingStream returns a stream draining r, with frame bytes resolved
+// through slab.
+func NewRingStream(r *ring.MPSC, slab *ring.Slab) *RingStream {
+	return &RingStream{ring: r, slab: slab}
+}
+
+// Dropped returns how many frames were skipped because they failed to parse.
+func (rs *RingStream) Dropped() uint64 { return rs.dropped }
+
+// Next pops the next frame, moving to the next descriptor (and releasing the
+// exhausted block) as needed.
+func (rs *RingStream) Next() (traffic.Pkt, bool) {
+	for {
+		if !rs.has {
+			var d ring.Desc
+			if !rs.ring.TryPop(&d) {
+				return traffic.Pkt{}, false
+			}
+			rs.block = d.Block
+			rs.it = ring.NewFrameIter(rs.slab.Bytes(d.Block), d.N)
+			rs.has = true
+		}
+		ts, _, frame, ok := rs.it.Next()
+		if !ok {
+			rs.slab.Release(rs.block)
+			rs.has = false
+			continue
+		}
+		if err := packet.ParseInto(&rs.scratch, frame); err != nil {
+			rs.dropped++
+			continue
+		}
+		return traffic.Pkt{TsNs: ts, Frame: &rs.scratch}, true
+	}
+}

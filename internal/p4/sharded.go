@@ -3,10 +3,12 @@ package p4
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"stat4/internal/packet"
+	"stat4/internal/ring"
 )
 
 // ShardedSwitch runs N replicas ("shards") of one program behind an
@@ -36,14 +38,36 @@ type ShardedSwitch struct {
 	parts [][]FrameIn    // per-shard batch partitions, reused
 	outs  []*shardOutBuf // per-shard buffered outputs, reused
 	emits []func(FrameOut)
-	work  []chan struct{}
-	wg    sync.WaitGroup
+
+	// The batch handoff: one SPSC descriptor ring plus a parker per shard.
+	// ProcessBatch (the single producer) pushes one descriptor per non-empty
+	// shard; the shard worker (the single consumer) spins briefly, then parks.
+	// At steady state a handoff costs ring ops only — no channel send/recv.
+	rings   []*ring.SPSC
+	parkers []*ring.Parker
+	done    sync.WaitGroup // batch completion, Done'd by workers per descriptor
+	workers sync.WaitGroup // worker goroutines, joined by Close
 
 	sink func(Digest) // direct fleet-level receiver, replaces the merged mailbox
 
 	digestDrops atomic.Uint64 // lost forwarding to the merged mailbox
+	batchSeq    uint64        // producer-owned batch sequence (debug aid in descriptors)
 	closed      bool
 }
+
+// closeSeq is the poison descriptor sequence Close pushes to stop a worker.
+// Batch descriptors carry a monotonically increasing sequence, so the
+// all-ones value can never collide.
+const closeSeq = ^uint64(0)
+
+// workerSpins is how many TryPop polls (each yielding the processor) a shard
+// worker makes before parking. The budget is deliberately small: the producer
+// never yields inside its reduce/partition phase, so one scheduler round trip
+// is enough for the next batch to appear, and a handful of polls covers it —
+// back-to-back batches are handled with ring ops only, while larger budgets
+// just multiply Gosched churn across shards on a loaded host. The park/unpark
+// channel machinery only runs when the pipeline actually goes idle.
+const workerSpins = 8
 
 // outRef locates one buffered output frame inside a shard's byte buffer.
 type outRef struct {
@@ -79,7 +103,8 @@ func NewShardedSwitch(prog *Program, std StdFields, n, digestBuf int) (*ShardedS
 		parts:   make([][]FrameIn, n),
 		outs:    make([]*shardOutBuf, n),
 		emits:   make([]func(FrameOut), n),
-		work:    make([]chan struct{}, n),
+		rings:   make([]*ring.SPSC, n),
+		parkers: make([]*ring.Parker, n),
 	}
 	for i := range ss.shards {
 		sw, err := NewSwitch(prog, std, digestBuf)
@@ -94,33 +119,68 @@ func NewShardedSwitch(prog *Program, std StdFields, n, digestBuf int) (*ShardedS
 			buf.bytes = append(buf.bytes, o.Data...)
 			buf.refs = append(buf.refs, outRef{port: o.Port, off: off, end: len(buf.bytes)})
 		}
-		ss.work[i] = make(chan struct{}, 1)
+		// Capacity 2: one in-flight batch descriptor plus the close token.
+		// ProcessBatch waits for completion before the next push, so the ring
+		// can never fill from batch traffic alone.
+		ss.rings[i] = ring.NewSPSC(2)
+		ss.parkers[i] = ring.NewParker()
+		ss.workers.Add(1)
 		go ss.worker(i)
 	}
 	return ss, nil
 }
 
 // worker is shard i's data-plane goroutine: it owns the shard exclusively,
-// waking per batch to run its partition. The channel send in ProcessBatch
-// publishes the partition; wg.Done publishes the outputs back.
+// popping one descriptor per batch from its ring. The atomic ring publish in
+// ProcessBatch orders the partition writes before the pop; done.Done orders
+// the outputs back. The worker spins (yielding between polls, so co-scheduled
+// shards and producers keep the processor) and parks only after the spin
+// budget misses, exiting when it pops the close token.
 func (ss *ShardedSwitch) worker(i int) {
+	defer ss.workers.Done()
 	sw := ss.shards[i]
-	for range ss.work[i] {
+	r := ss.rings[i]
+	p := ss.parkers[i]
+	var d ring.Desc
+	for {
+		if !r.TryPop(&d) {
+			hit := false
+			for s := 0; s < workerSpins; s++ {
+				runtime.Gosched()
+				if r.TryPop(&d) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				p.Park(func() bool { return r.Len() > 0 })
+				continue // Park may return spuriously; re-poll
+			}
+		}
+		if d.Seq == closeSeq {
+			return
+		}
 		sw.ProcessBatch(ss.parts[i], ss.emits[i])
-		ss.wg.Done()
+		ss.done.Done()
 	}
 }
 
-// Close stops the shard workers. The switch must be idle (no ProcessBatch in
-// flight); further Process* calls panic.
+// Close stops and joins the shard workers: it pushes a close token through
+// every shard ring, wakes any parked worker, and returns once all worker
+// goroutines have exited. The switch must be idle (no ProcessBatch in
+// flight); further Process* calls panic. Close is idempotent.
 func (ss *ShardedSwitch) Close() {
 	if ss.closed {
 		return
 	}
 	ss.closed = true
-	for _, w := range ss.work {
-		close(w)
+	for i := range ss.rings {
+		for !ss.rings[i].TryPush(ring.Desc{Seq: closeSeq}) {
+			runtime.Gosched() // ring holds at most one stale descriptor
+		}
+		ss.parkers[i].Unpark()
 	}
+	ss.workers.Wait()
 }
 
 // NumShards returns the replica count.
@@ -267,6 +327,9 @@ func (ss *ShardedSwitch) ProcessPacket(tsNs uint64, inPort uint16, pkt *packet.P
 // on the caller's goroutine only). Each emitted frame's Data is valid only
 // during its emit call. emit may be nil to process for side effects only.
 func (ss *ShardedSwitch) ProcessBatch(batch []FrameIn, emit func(FrameOut)) {
+	if ss.closed {
+		panic("p4: ProcessBatch on a closed ShardedSwitch")
+	}
 	n := len(ss.shards)
 	for i := 0; i < n; i++ {
 		ss.parts[i] = ss.parts[i][:0]
@@ -277,14 +340,18 @@ func (ss *ShardedSwitch) ProcessBatch(batch []FrameIn, emit func(FrameOut)) {
 		s := shardIndex(FlowKey(batch[i].Data), n)
 		ss.parts[s] = append(ss.parts[s], batch[i])
 	}
+	ss.batchSeq++
 	for i := 0; i < n; i++ {
 		if len(ss.parts[i]) == 0 {
 			continue
 		}
-		ss.wg.Add(1)
-		ss.work[i] <- struct{}{}
+		ss.done.Add(1)
+		for !ss.rings[i].TryPush(ring.Desc{Seq: ss.batchSeq, N: uint32(len(ss.parts[i]))}) {
+			runtime.Gosched() // unreachable under the one-batch-in-flight contract
+		}
+		ss.parkers[i].Unpark()
 	}
-	ss.wg.Wait()
+	ss.done.Wait()
 	for i := 0; i < n; i++ {
 		ss.forwardDigests(ss.shards[i])
 		if emit != nil {

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"stat4/internal/packet"
 )
@@ -336,4 +338,44 @@ func TestNewShardedSwitchRejectsBadCount(t *testing.T) {
 	if _, err := NewShardedSwitch(prog, std, 0, 0); err == nil {
 		t.Fatal("expected error for 0 shards")
 	}
+}
+
+// TestShardedCloseJoinsWorkers pins that Close parks and joins the shard
+// worker goroutines: after Close returns, the goroutine count is back to its
+// pre-construction level (a regression test for worker leaks), Close is
+// idempotent, and a late ProcessBatch fails fast instead of hanging on
+// workers that no longer exist.
+func TestShardedCloseJoinsWorkers(t *testing.T) {
+	prog, std := buildShardableProgram()
+	baseline := runtime.NumGoroutine()
+	ss, err := NewShardedSwitch(prog, std, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := runtime.NumGoroutine(); g < baseline+8 {
+		t.Fatalf("expected %d+8 goroutines with workers running, have %d", baseline, g)
+	}
+	// Run a batch so some workers have cycled through the pop/park loop, and
+	// give them time to park — Close must wake parked workers too.
+	ss.ProcessBatch(framesFromBytes(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7}, 32)), nil)
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	ss.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline %d after Close: %d",
+				baseline, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+	}
+	ss.Close() // idempotent
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ProcessBatch after Close did not panic")
+		}
+	}()
+	ss.ProcessBatch(framesFromBytes([]byte{1, 2, 3, 4, 5, 6, 7}), nil)
 }

@@ -1,0 +1,60 @@
+package ring
+
+import "testing"
+
+// FuzzRingFIFO drives both ring flavours through an arbitrary push/pop
+// schedule against a plain slice model: every accepted push must come back
+// out exactly once, in order, and full/empty refusals must match the
+// model's occupancy. Byte n of the input decides operation n (low bit:
+// push/pop; remaining bits salt the pushed value), so the fuzzer explores
+// wrap-around and full/empty boundaries at every offset.
+func FuzzRingFIFO(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1})
+	f.Add([]byte{0, 2, 4, 6, 1, 3, 5, 7})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		spsc := NewSPSC(4)
+		mpsc := NewMPSC(4)
+		var model []Desc
+		seq := uint64(0)
+		var d Desc
+		for i, op := range ops {
+			if op&1 == 0 {
+				want := len(model) < spsc.Cap()
+				push := Desc{Seq: seq, Block: uint32(op), N: uint32(i)}
+				gotS := spsc.TryPush(push)
+				gotM := mpsc.TryPush(push)
+				if gotS != want || gotM != want {
+					t.Fatalf("op %d: push accepted (spsc=%v, mpsc=%v), want %v at occupancy %d",
+						i, gotS, gotM, want, len(model))
+				}
+				if want {
+					model = append(model, push)
+					seq++
+				}
+			} else {
+				want := len(model) > 0
+				gotS := spsc.TryPop(&d)
+				if gotS != want {
+					t.Fatalf("op %d: spsc pop ok=%v, want %v at occupancy %d", i, gotS, want, len(model))
+				}
+				if want && d != model[0] {
+					t.Fatalf("op %d: spsc popped %+v, want %+v", i, d, model[0])
+				}
+				gotM := mpsc.TryPop(&d)
+				if gotM != want {
+					t.Fatalf("op %d: mpsc pop ok=%v, want %v at occupancy %d", i, gotM, want, len(model))
+				}
+				if want {
+					if d != model[0] {
+						t.Fatalf("op %d: mpsc popped %+v, want %+v", i, d, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if spsc.Len() != len(model) || mpsc.Len() != len(model) {
+				t.Fatalf("op %d: Len spsc=%d mpsc=%d, model %d", i, spsc.Len(), mpsc.Len(), len(model))
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Parker is the sleep half of a spin-then-park consumer loop. The consumer
+// spins on TryPop for a while, then calls Park; producers call Unpark after
+// every push, which costs a single atomic load while the consumer is awake —
+// the per-batch channel wakeup only comes back when the consumer actually
+// went to sleep.
+//
+// Park may return spuriously (a wakeup raced a previous park); consumers
+// must re-check the ring and loop. One Parker serves one consumer and any
+// number of producers.
+type Parker struct {
+	parked atomic.Uint32
+	wake   chan struct{}
+}
+
+// NewParker returns a ready Parker.
+func NewParker() *Parker {
+	return &Parker{wake: make(chan struct{}, 1)}
+}
+
+// Park publishes the parked state, re-checks ready (closing the push-then-
+// check-parked / check-ready-then-park race: one side must see the other),
+// and blocks until Unpark if ready still reports nothing to do.
+func (p *Parker) Park(ready func() bool) {
+	p.parked.Store(1)
+	if ready() {
+		if p.parked.CompareAndSwap(1, 0) {
+			return
+		}
+		// An Unpark won the CAS and sent (or is sending) the token; consume
+		// it so it cannot wake a later Park early.
+		<-p.wake
+		return
+	}
+	<-p.wake
+}
+
+// Unpark wakes a parked consumer. While the consumer is running this is one
+// atomic load; when it is parked, the CAS elects exactly one caller to send
+// the wake token, so the buffered send can never block.
+func (p *Parker) Unpark() {
+	if p.parked.Load() == 1 && p.parked.CompareAndSwap(1, 0) {
+		p.wake <- struct{}{}
+	}
+}
+
+// SpinPops polls pop up to spins times, yielding the processor between
+// polls, and reports whether a pop succeeded. It is the spin phase for a
+// consumer loop:
+//
+//	for {
+//		if !ring.SpinPops(spins, tryPop) {
+//			parker.Park(ready)
+//			continue // re-check: Park can return spuriously
+//		}
+//		... handle ...
+//	}
+//
+// The Gosched on every miss keeps a spinning consumer honest on a loaded
+// (or single-core) host: producers and other shards get the processor back
+// between polls instead of losing a scheduling quantum to the spin.
+func SpinPops(spins int, pop func() bool) bool {
+	for i := 0; i < spins; i++ {
+		if pop() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}

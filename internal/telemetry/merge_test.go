@@ -130,3 +130,51 @@ func TestShardedPipelineRegister(t *testing.T) {
 		t.Fatalf("refreshed merged cost count = %d, want 4", got)
 	}
 }
+
+// TestShardedPipelineIngestSeries pins the ingest plane's export: depth-style
+// readers render as TYPE gauge, shed totals as counters, nil readers as zero,
+// and the whole exposition still validates.
+func TestShardedPipelineIngestSeries(t *testing.T) {
+	sp := NewShardedPipeline(1)
+	depth := uint64(3)
+	sp.Ingest = &IngestMetrics{
+		RingDepth:   func() uint64 { return depth },
+		RingCap:     func() uint64 { return 64 },
+		BlocksInUse: func() uint64 { return 2 },
+		ShedBatches: func() uint64 { return 5 },
+		// ShedFrames deliberately nil: it must render as 0, not panic.
+	}
+	reg := NewRegistry("stat4d")
+	sp.Register(reg)
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stat4d_ingest_ring_depth gauge\nstat4d_ingest_ring_depth 3",
+		"# TYPE stat4d_ingest_ring_capacity gauge\nstat4d_ingest_ring_capacity 64",
+		"# TYPE stat4d_ingest_blocks_in_use gauge\nstat4d_ingest_blocks_in_use 2",
+		"# TYPE stat4d_ingest_shed_batches counter\nstat4d_ingest_shed_batches 5",
+		"# TYPE stat4d_ingest_shed_frames counter\nstat4d_ingest_shed_frames 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition(out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gauges are lazy: a second render sees the new depth, and the JSON
+	// snapshot carries them under their own key.
+	depth = 9
+	snap := reg.Snapshot()
+	if len(snap.Gauges) != 3 {
+		t.Fatalf("snapshot has %d gauges, want 3", len(snap.Gauges))
+	}
+	if snap.Gauges[0].Name != "ingest_ring_depth" || snap.Gauges[0].Value != 9 {
+		t.Fatalf("gauge[0] = %+v, want ingest_ring_depth 9", snap.Gauges[0])
+	}
+}

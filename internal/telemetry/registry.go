@@ -17,6 +17,7 @@ type Registry struct {
 	prefix    string
 	hists     []histEntry
 	counters  []counterEntry
+	gauges    []gaugeEntry
 	timelines []timelineEntry
 }
 
@@ -26,6 +27,11 @@ type histEntry struct {
 }
 
 type counterEntry struct {
+	name, help string
+	fn         func() uint64
+}
+
+type gaugeEntry struct {
 	name, help string
 	fn         func() uint64
 }
@@ -73,6 +79,15 @@ func (r *Registry) RegisterHist(name, help string, h *Hist) {
 func (r *Registry) RegisterCounter(name, help string, fn func() uint64) {
 	mustValidName(name)
 	r.counters = append(r.counters, counterEntry{name: name, help: help, fn: fn})
+}
+
+// RegisterGauge adds a gauge read through fn at render time. Gauges are for
+// instantaneous occupancy-style values (ring depth, slab blocks in use) that
+// go down as well as up, which is the only difference from RegisterCounter —
+// the exposition marks them TYPE gauge so scrapers do not rate() them.
+func (r *Registry) RegisterGauge(name, help string, fn func() uint64) {
+	mustValidName(name)
+	r.gauges = append(r.gauges, gaugeEntry{name: name, help: help, fn: fn})
 }
 
 // RegisterTimeline adds a timeline under prefix_name.
@@ -134,6 +149,7 @@ type Snapshot struct {
 	Prefix    string             `json:"prefix"`
 	Hists     []HistSnapshot     `json:"hists"`
 	Counters  []CounterSnapshot  `json:"counters"`
+	Gauges    []CounterSnapshot  `json:"gauges,omitempty"`
 	Timelines []TimelineSnapshot `json:"timelines,omitempty"`
 }
 
@@ -145,6 +161,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, e := range r.counters {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: e.name, Value: e.fn()})
+	}
+	for _, e := range r.gauges {
+		s.Gauges = append(s.Gauges, CounterSnapshot{Name: e.name, Value: e.fn()})
 	}
 	for _, e := range r.timelines {
 		s.Timelines = append(s.Timelines, TimelineSnapshot{
@@ -168,7 +187,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WriteProm writes a Prometheus-style text exposition. Histograms render as
 // summaries (quantile-labelled series from the percentile markers plus
 // _sum/_count/_min/_max and the marker change rates), counters as counters,
-// timelines as one labelled sample per transition.
+// gauges as gauges, timelines as one labelled sample per transition.
 func (r *Registry) WriteProm(w io.Writer) error {
 	for _, e := range r.hists {
 		full := r.prefix + "_" + e.name
@@ -186,6 +205,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, e := range r.counters {
 		full := r.prefix + "_" + e.name
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			full, e.help, full, full, e.fn()); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.gauges {
+		full := r.prefix + "_" + e.name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
 			full, e.help, full, full, e.fn()); err != nil {
 			return err
 		}
