@@ -454,6 +454,74 @@ func BenchmarkSwitchSparseUpdate(b *testing.B) {
 	}
 }
 
+// --- entropy and heavy hitters ------------------------------------------------
+
+// BenchmarkLog2Fixed measures the fixed-point log2 (MSB if-tree plus
+// fractional refinement) that every entropy-tracked packet pays twice.
+func BenchmarkLog2Fixed(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += intstat.Log2Fixed(uint64(i)*2654435761+1, 16)
+	}
+	benchSink = sink
+}
+
+// BenchmarkSwitchEntropyUpdate is the per-packet cost of a bound entropy
+// slot: counter bump, two log2 if-trees, cell/sum maintenance, and the gated
+// collapse check every 1024 observations.
+func BenchmarkSwitchEntropyUpdate(b *testing.B) {
+	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1, Entropy: true})
+	rt, err := stat4p4.NewRuntime(lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, 0, 256, 0, 1024); err != nil {
+		b.Fatal(err)
+	}
+	sw := rt.Switch()
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i], _ = packet.Parse(packet.NewUDPFrame(1, packet.IP4(uint32(i*5%256)), 5, 80, 10).Serialize())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ProcessPacket(uint64(i), 1, pkts[i&63])
+	}
+}
+
+// BenchmarkSwitchHeavyHitterUpdate is the per-packet cost of the
+// heavy-hitter path at two sampling budgets: shift=6 is the typical 2^-6
+// coin (recirculation amortised away), shift=0 recirculates every packet —
+// the structural worst case the stage budget must absorb.
+func BenchmarkSwitchHeavyHitterUpdate(b *testing.B) {
+	for _, shift := range []uint{6, 0} {
+		b.Run(fmt.Sprintf("shift=%d", shift), func(b *testing.B) {
+			lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1, HeavyHitter: true})
+			rt, err := stat4p4.NewRuntime(lib)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rt.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, shift); err != nil {
+				b.Fatal(err)
+			}
+			sw := rt.Switch()
+			pkts := make([]*packet.Packet, 64)
+			for i := range pkts {
+				src := packet.ParseIP4(198, 18, byte(i/16), byte(i*7))
+				pkts[i], _ = packet.Parse(packet.NewUDPFrame(src, packet.IP4(9), 5, 80, 10).Serialize())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessPacket(uint64(i), 1, pkts[i&63])
+			}
+			b.StopTimer()
+			if shift == 0 && sw.Stats().Recirculated == 0 {
+				b.Fatal("shift=0 never recirculated")
+			}
+		})
+	}
+}
+
 // --- sharded datapath ---------------------------------------------------------
 
 // shardedBenchBatch builds a fixed batch of UDP frames spread over many

@@ -33,11 +33,14 @@ func main() {
 	log.SetPrefix("stat4-replay: ")
 	record := flag.String("record", "", "write a synthetic case-study capture to this file and exit")
 	seconds := flag.Float64("seconds", 2, "capture length for -record")
-	track := flag.String("track", "window", "statistic to bind: window | dst24 | proto | len")
+	track := flag.String("track", "window", "statistic to bind: window | dst24 | proto | len | entropy | hh")
 	shift := flag.Uint("interval-shift", 23, "window interval exponent (2^shift ns)")
 	window := flag.Int("window", 100, "window length in intervals")
 	k := flag.Uint64("k", 2, "sigma multiplier for the anomaly check (0 disables for freq modes)")
-	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
+	basePrefix := flag.String("base-prefix", "10.0.0.0", "dst24/entropy modes: /16 whose /24 subnets are indexed")
+	h0 := flag.Float64("h0", 0, "entropy mode: alert when the mix drops below this many bits (0 disables)")
+	checkEvery := flag.Uint64("check-every", 1024, "entropy mode: check cadence in observations (power of two)")
+	sampleShift := flag.Uint("sample-shift", 6, "hh mode: recirculation probability 2^-shift")
 	configPath := flag.String("config", "", "JSON app config (overrides -track and friends)")
 	shards := flag.Int("shards", 1, "replicate the datapath over N flow-hash shards (RSS-style dispatch)")
 	ringFeed := flag.Bool("ring", false, "feed shards through the stat4d ingest ring instead of direct batches (lossless)")
@@ -66,6 +69,10 @@ func main() {
 	if *shards < 1 {
 		log.Fatal("-shards must be at least 1")
 	}
+	tc := trackConfig{
+		Track: *track, Shift: *shift, Window: *window, K: *k,
+		H0Bits: *h0, CheckEvery: *checkEvery, SampleShift: *sampleShift,
+	}
 	if *shards > 1 || *ringFeed {
 		if *configPath != "" {
 			log.Fatal("-shards is not supported with -config (bindings come from the track flags)")
@@ -74,14 +81,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		tc.Base = uint64(base) >> 8
 		if *ringFeed {
-			if err := replayRing(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, *shards, *metrics, *metricsOut); err != nil {
+			if err := replayRing(flag.Arg(0), tc, *shards, *metrics, *metricsOut); err != nil {
 				log.Fatal(err)
 			}
 			return
 		}
 		sm := newShardedMetrics(*shards, *metrics || *metricsOut != "")
-		if err := replaySharded(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, *shards, sm); err != nil {
+		if err := replaySharded(flag.Arg(0), tc, *shards, sm); err != nil {
 			log.Fatal(err)
 		}
 		if sm != nil {
@@ -103,7 +111,8 @@ func main() {
 		if err != nil {
 			return err
 		}
-		return replay(flag.Arg(0), *track, *shift, *window, *k, uint64(base)>>8, rm)
+		tc.Base = uint64(base) >> 8
+		return replay(flag.Arg(0), tc, rm)
 	}
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -270,45 +279,81 @@ func replayWithConfig(tracePath, configPath string, rm *replayMetrics) error {
 		return err
 	}
 	fmt.Printf("applied %s: %d bindings, %d routes\n", configPath, len(ids), len(cfg.Routes))
-	return replayThrough(tracePath, rt, "config", rm)
+	return replayThrough(tracePath, rt, trackConfig{Track: "config"}, rm)
 }
 
-func replay(path, track string, shift uint, window int, k, dst24Base uint64, rm *replayMetrics) error {
-	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+// trackConfig bundles the -track family of flags so every replay flavor
+// (serial, sharded, ring-fed) binds and reports the same statistic.
+type trackConfig struct {
+	Track       string
+	Shift       uint   // window interval exponent
+	Window      int    // window length in intervals
+	K           uint64 // sigma multiplier
+	Base        uint64 // dst24/entropy: /16 base, pre-shifted
+	H0Bits      float64
+	CheckEvery  uint64
+	SampleShift uint
+}
+
+// options sizes the program for the track: entropy and heavy hitters carry
+// extra registers and recirculation plumbing, so they are compiled in only
+// when asked for.
+func (tc trackConfig) options() stat4p4.Options {
+	return stat4p4.Options{
+		Slots: 1, Size: 256, Stages: 1,
+		Entropy:     tc.Track == "entropy",
+		HeavyHitter: tc.Track == "hh",
+	}
+}
+
+// entropyH0 converts the -h0 threshold in bits to the library's fixed point.
+func entropyH0(lib *stat4p4.Library, bits float64) uint64 {
+	if bits <= 0 {
+		return 0
+	}
+	return uint64(bits * float64(uint64(1)<<lib.Opts.EntropyFrac))
+}
+
+func replay(path string, tc trackConfig, rm *replayMetrics) error {
+	lib := stat4p4.Build(tc.options())
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
 		return err
 	}
-	switch track {
+	switch tc.Track {
 	case "window":
-		_, err = rt.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
+		_, err = rt.BindWindow(0, 0, stat4p4.AllIPv4(), tc.Shift, tc.Window, tc.K)
 	case "dst24":
-		_, err = rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
+		_, err = rt.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, tc.Base, 256, 1, 1, tc.K)
 	case "proto":
-		_, err = rt.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
+		_, err = rt.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, tc.K)
 	case "len":
-		_, err = rt.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
+		_, err = rt.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, tc.K)
+	case "entropy":
+		_, err = rt.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 8, tc.Base, 256, entropyH0(lib, tc.H0Bits), tc.CheckEvery)
+	case "hh":
+		_, err = rt.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, tc.SampleShift)
 	default:
-		return fmt.Errorf("unknown -track %q", track)
+		return fmt.Errorf("unknown -track %q", tc.Track)
 	}
 	if err != nil {
 		return err
 	}
-	return replayThrough(path, rt, track, rm)
+	return replayThrough(path, rt, tc, rm)
 }
 
 // replaySharded replays the capture through an N-shard deployment: the
 // flow-hash dispatcher partitions each batch, shards run concurrently, and
 // the end-of-run measures are read from the merged canonical view — the same
 // numbers a serial replay of the capture prints.
-func replaySharded(path, track string, shift uint, window int, k, dst24Base uint64, shards int, sm *shardedMetrics) error {
-	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+func replaySharded(path string, tc trackConfig, shards int, sm *shardedMetrics) error {
+	lib := stat4p4.Build(tc.options())
 	sr, err := stat4p4.NewShardedRuntime(lib, shards)
 	if err != nil {
 		return err
 	}
 	defer sr.Close()
-	if err := bindSharded(sr, track, shift, window, k, dst24Base); err != nil {
+	if err := bindSharded(sr, tc); err != nil {
 		return err
 	}
 
@@ -380,47 +425,109 @@ func replaySharded(path, track string, shift uint, window int, k, dst24Base uint
 		fmt.Printf("modeled multi-pipeline speedup: %.2fx (total/busiest shard)\n",
 			float64(st.PktsIn)/float64(maxShard))
 	}
-	if track == "window" {
+	if err := reportMerged(sr, tc, shards); err != nil {
+		return err
+	}
+	printDigests(alerts)
+	return nil
+}
+
+// reportMerged prints the end-of-run measure of a sharded replay from the
+// merged canonical view — the same numbers a serial replay prints.
+func reportMerged(sr *stat4p4.ShardedRuntime, tc trackConfig, shards int) error {
+	switch tc.Track {
+	case "window":
 		// Windows are clock-driven per shard; the merged scalar view applies
 		// to frequency modes, so report the per-shard moments instead.
 		for i := 0; i < shards; i++ {
 			m, _ := sr.ShardRuntime(i).ReadMoments(0)
 			fmt.Printf("  shard %d window: N=%d Xsum=%d var=%d sd=%d\n", i, m.N, m.Xsum, m.Var, m.SD)
 		}
-	} else {
+	case "entropy":
+		es, err := sr.MergedEntropy(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracked \"entropy\" (merged): T=%d S=%d → %.4f bits\n", es.Total, es.Sum, es.Bits)
+	case "hh":
+		entries, err := sr.MergedHeavyHitters(0)
+		if err != nil {
+			return err
+		}
+		var rejected uint64
+		for i := 0; i < shards; i++ {
+			rej, err := sr.ShardRuntime(i).HHRejected(0)
+			if err != nil {
+				return err
+			}
+			rejected += rej
+		}
+		printHeavyHitters(entries, rejected, tc.SampleShift)
+	default:
 		m, err := sr.MergedMoments(0)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("tracked %q (merged): N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
-			track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
+			tc.Track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
 	}
-	fmt.Printf("%d anomaly alerts\n", len(alerts))
+	return nil
+}
+
+// printHeavyHitters renders the candidate table, heaviest first.
+func printHeavyHitters(entries []stat4p4.HHEntry, rejected uint64, sampleShift uint) {
+	fmt.Printf("tracked \"hh\": %d candidates promoted, %d recirculations rejected (table full)\n",
+		len(entries), rejected)
+	for i, e := range entries {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(entries)-10)
+			break
+		}
+		fmt.Printf("  %v: %d promotions (≈%d packets at 2^-%d sampling)\n",
+			packet.IP4(e.Key), e.Count, e.Count<<sampleShift, sampleShift)
+	}
+}
+
+// printDigests renders the drained digests, decoding each ID's layout.
+func printDigests(alerts []p4.Digest) {
+	fmt.Printf("%d alert digests\n", len(alerts))
 	for i, d := range alerts {
 		if i == 10 {
 			fmt.Printf("  ... %d more\n", len(alerts)-10)
 			break
 		}
-		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
-			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+		switch d.ID {
+		case stat4p4.DigestEntropy:
+			fmt.Printf("  [%0.3fs] entropy collapse: slot=%d T=%d H*T=%d h0*T=%d\n",
+				float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+		case stat4p4.DigestHeavyHitter:
+			fmt.Printf("  [%0.3fs] heavy hitter promoted: slot=%d key=%v\n",
+				float64(d.Values[2])/1e9, d.Values[0], packet.IP4(d.Values[1]))
+		default:
+			fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
+				float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+		}
 	}
-	return nil
 }
 
 // bindSharded applies one -track binding to a sharded runtime.
-func bindSharded(sr *stat4p4.ShardedRuntime, track string, shift uint, window int, k, dst24Base uint64) error {
+func bindSharded(sr *stat4p4.ShardedRuntime, tc trackConfig) error {
 	var err error
-	switch track {
+	switch tc.Track {
 	case "window":
-		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), shift, window, k)
+		_, err = sr.BindWindow(0, 0, stat4p4.AllIPv4(), tc.Shift, tc.Window, tc.K)
 	case "dst24":
-		_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, dst24Base, 256, 1, 1, k)
+		_, err = sr.BindFreqDst(0, 0, stat4p4.AllIPv4(), 8, tc.Base, 256, 1, 1, tc.K)
 	case "proto":
-		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, k)
+		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, tc.K)
 	case "len":
-		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, k)
+		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, tc.K)
+	case "entropy":
+		_, err = sr.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 8, tc.Base, 256, entropyH0(sr.Library(), tc.H0Bits), tc.CheckEvery)
+	case "hh":
+		_, err = sr.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, tc.SampleShift)
 	default:
-		err = fmt.Errorf("unknown -track %q", track)
+		err = fmt.Errorf("unknown -track %q", tc.Track)
 	}
 	return err
 }
@@ -430,14 +537,14 @@ func bindSharded(sr *stat4p4.ShardedRuntime, track string, shift uint, window in
 // and the end-of-run measures come from the engine's merged control-plane
 // reads. The numbers must match what replaySharded prints for the same
 // capture — the ring is invisible to the statistics.
-func replayRing(path, track string, shift uint, window int, k, dst24Base uint64, shards int, prom bool, jsonPath string) error {
-	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+func replayRing(path string, tc trackConfig, shards int, prom bool, jsonPath string) error {
+	lib := stat4p4.Build(tc.options())
 	sr, err := stat4p4.NewShardedRuntime(lib, shards)
 	if err != nil {
 		return err
 	}
 	defer sr.Close()
-	if err := bindSharded(sr, track, shift, window, k, dst24Base); err != nil {
+	if err := bindSharded(sr, tc); err != nil {
 		return err
 	}
 
@@ -458,29 +565,12 @@ func replayRing(path, track string, shift uint, window int, k, dst24Base uint64,
 	if sb, sf := e.Shed(); sb != 0 || sf != 0 {
 		return fmt.Errorf("lossless replay shed %d batches / %d frames", sb, sf)
 	}
-	if track == "window" {
-		for i := 0; i < shards; i++ {
-			m, _ := sr.ShardRuntime(i).ReadMoments(0)
-			fmt.Printf("  shard %d window: N=%d Xsum=%d var=%d sd=%d\n", i, m.N, m.Xsum, m.Var, m.SD)
-		}
-	} else {
-		m, err := e.MergedMoments(0)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("tracked %q (merged): N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
-			track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
+	if err := reportMerged(sr, tc, shards); err != nil {
+		return err
 	}
 	alerts, total := e.Alerts()
-	fmt.Printf("%d anomaly alerts\n", total)
-	for i, d := range alerts {
-		if i == 10 {
-			fmt.Printf("  ... %d more retained\n", len(alerts)-10)
-			break
-		}
-		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
-			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
-	}
+	fmt.Printf("%d alerts total, last %d retained:\n", total, len(alerts))
+	printDigests(alerts)
 	if prom {
 		if err := e.WriteProm(os.Stdout); err != nil {
 			return err
@@ -507,7 +597,7 @@ const replayBatchSize = 256
 
 // replayThrough streams the capture into a prepared runtime in batches and
 // reports.
-func replayThrough(path string, rt *stat4p4.Runtime, track string, rm *replayMetrics) error {
+func replayThrough(path string, rt *stat4p4.Runtime, tc trackConfig, rm *replayMetrics) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -563,19 +653,31 @@ func replayThrough(path string, rt *stat4p4.Runtime, track string, rm *replayMet
 	flush()
 
 	st := sw.Stats()
-	m, _ := rt.ReadMoments(0)
 	fmt.Printf("replayed %d frames spanning %.3fs (%d parse errors)\n",
 		frames, float64(lastTs-firstTs)/1e9, st.ParseErrors)
-	fmt.Printf("tracked %q: N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
-		track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
-	fmt.Printf("%d anomaly alerts\n", len(alerts))
-	for i, d := range alerts {
-		if i == 10 {
-			fmt.Printf("  ... %d more\n", len(alerts)-10)
-			break
+	switch tc.Track {
+	case "entropy":
+		es, err := rt.ReadEntropy(0)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("  [%0.3fs] slot=%d value=%d N*x=%d threshold=%d\n",
-			float64(d.Values[4])/1e9, d.Values[0], d.Values[1], d.Values[2], d.Values[3])
+		fmt.Printf("tracked \"entropy\": T=%d S=%d → %.4f bits\n", es.Total, es.Sum, es.Bits)
+	case "hh":
+		entries, err := rt.ReadHeavyHitters(0)
+		if err != nil {
+			return err
+		}
+		rejected, err := rt.HHRejected(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d recirculations\n", st.Recirculated)
+		printHeavyHitters(entries, rejected, tc.SampleShift)
+	default:
+		m, _ := rt.ReadMoments(0)
+		fmt.Printf("tracked %q: N=%d Xsum=%d Xsumsq=%d var=%d sd=%d median-marker=%d\n",
+			tc.Track, m.N, m.Xsum, m.Xsumsq, m.Var, m.SD, m.Median)
 	}
+	printDigests(alerts)
 	return nil
 }

@@ -19,7 +19,7 @@ func TestMetricsSmoke(t *testing.T) {
 	}
 
 	rm := newReplayMetrics()
-	if err := replay(trace, "window", 23, 20, 2, 0, rm); err != nil {
+	if err := replay(trace, trackConfig{Track: "window", Shift: 23, Window: 20, K: 2}, rm); err != nil {
 		t.Fatal(err)
 	}
 

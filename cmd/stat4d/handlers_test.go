@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testDaemon boots a listener-free daemon whose mux is driven directly with
+// httptest, so handler behavior is pinned without sockets.
+func testDaemon(t *testing.T, track string) *daemon {
+	t.Helper()
+	d, err := newDaemon(daemonConfig{
+		Shards: 2, Track: track, BasePrefix: "10.0.0.0",
+		H0Bits: 0, CheckEvery: 1024, SampleShift: 2,
+		RingCap: 64, SlabBlocks: 64, BlockSize: 32 << 10, Batch: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.shutdown)
+	return d
+}
+
+// decodeError requires a JSON {"error": ...} body — the control plane speaks
+// JSON on the failure path too.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Error == "" {
+		t.Fatalf("error body carries no message: %s", rec.Body.String())
+	}
+	return body.Error
+}
+
+// TestBindRejectsNonPost pins the 405 path: /bind is a mutation, reads must
+// not slip through, and the refusal is a JSON error like every other answer.
+func TestBindRejectsNonPost(t *testing.T) {
+	d := testDaemon(t, "none")
+	mux := d.mux()
+	for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(method, "/bind", nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /bind = %d, want 405", method, rec.Code)
+		}
+		if msg := decodeError(t, rec); !strings.Contains(msg, "POST") {
+			t.Fatalf("%s /bind error %q does not name the allowed method", method, msg)
+		}
+	}
+}
+
+// TestBindRejectsMalformedJSON pins the 400 path: a broken body is a clean
+// JSON error, not a daemon upset, and no binding is applied.
+func TestBindRejectsMalformedJSON(t *testing.T) {
+	d := testDaemon(t, "none")
+	mux := d.mux()
+	for _, body := range []string{"{not json", `"a string"`, `{"mode": 7}`} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/bind", strings.NewReader(body))
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("POST /bind %q = %d, want 400", body, rec.Code)
+		}
+		decodeError(t, rec)
+	}
+	// An unknown mode inside well-formed JSON is also a JSON 400.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/bind", strings.NewReader(`{"mode":"nope"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown mode = %d, want 400", rec.Code)
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "nope") {
+		t.Fatalf("error %q does not name the bad mode", msg)
+	}
+}
+
+// TestEntropyEndpoint binds the entropy track, applies traffic through the
+// engine, and reads the merged fixed-point entropy over HTTP.
+func TestEntropyEndpoint(t *testing.T) {
+	d := testDaemon(t, "entropy")
+	mux := d.mux()
+
+	// Bad slot parameter is a JSON 400.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/entropy?slot=notanumber", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad slot = %d, want 400", rec.Code)
+	}
+	decodeError(t, rec)
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/entropy?slot=0", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/entropy = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Slot  int     `json:"slot"`
+		Total uint64  `json:"total"`
+		Bits  float64 `json:"bits"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/entropy body: %v\n%s", err, rec.Body.String())
+	}
+	if out.Total != 0 || out.Bits != 0 {
+		t.Fatalf("fresh daemon reports entropy %+v", out)
+	}
+}
+
+// TestHeavyHittersEndpoint reads the merged candidate table over HTTP.
+func TestHeavyHittersEndpoint(t *testing.T) {
+	d := testDaemon(t, "hh")
+	mux := d.mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/heavyhitters?slot=99", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range slot = %d, want 400", rec.Code)
+	}
+	decodeError(t, rec)
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/heavyhitters?slot=0", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/heavyhitters = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Slot     int    `json:"slot"`
+		Rejected uint64 `json:"rejected"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/heavyhitters body: %v\n%s", err, rec.Body.String())
+	}
+}
+
+// TestBindEntropyAndHHModes drives the new /bind modes end to end on the
+// mux: rebind to entropy on slot 0 and heavy hitters on slot 1, then read
+// both endpoints back.
+func TestBindEntropyAndHHModes(t *testing.T) {
+	d := testDaemon(t, "none")
+	mux := d.mux()
+	for _, body := range []string{
+		`{"mode":"entropy","slot":0,"h0_bits":4,"check_every":1024}`,
+		`{"mode":"hh","slot":1,"sample_shift":4}`,
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/bind", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST /bind %s = %d: %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	for _, url := range []string{"/entropy?slot=0", "/heavyhitters?slot=1"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", url, rec.Code, rec.Body.String())
+		}
+	}
+	// A non-power-of-two cadence surfaces the runtime's validation as a 400.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/bind",
+		strings.NewReader(`{"mode":"entropy","slot":0,"check_every":3}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("check_every=3 accepted: %d", rec.Code)
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "power of two") {
+		t.Fatalf("error %q does not explain the cadence constraint", msg)
+	}
+}

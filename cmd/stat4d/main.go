@@ -42,11 +42,14 @@ func main() {
 	flag.StringVar(&cfg.Unix, "unix", "", "unix socket path accepting frame streams")
 	flag.StringVar(&cfg.HTTP, "http", "", "HTTP control-plane address (/metrics, /snapshot, /bind, ...)")
 	flag.StringVar(&cfg.Pcap, "pcap", "", "pcap file or directory to play at startup (lossless)")
-	flag.StringVar(&cfg.Track, "track", "dst24", "statistic to bind: window | dst24 | proto | len | none")
+	flag.StringVar(&cfg.Track, "track", "dst24", "statistic to bind: window | dst24 | proto | len | entropy | hh | none")
 	flag.UintVar(&cfg.Shift, "interval-shift", 23, "window interval exponent (2^shift ns)")
 	flag.IntVar(&cfg.Window, "window", 100, "window length in intervals")
 	flag.Uint64Var(&cfg.K, "k", 0, "sigma multiplier for the anomaly check (0 disables)")
-	flag.StringVar(&cfg.BasePrefix, "base-prefix", "10.0.0.0", "dst24 mode: /16 whose /24 subnets are indexed")
+	flag.StringVar(&cfg.BasePrefix, "base-prefix", "10.0.0.0", "dst24/entropy modes: /16 whose /24 subnets are indexed")
+	flag.Float64Var(&cfg.H0Bits, "h0", 0, "entropy mode: alert when the mix drops below this many bits (0 disables)")
+	flag.Uint64Var(&cfg.CheckEvery, "check-every", 1024, "entropy mode: check cadence in observations (power of two)")
+	flag.UintVar(&cfg.SampleShift, "sample-shift", 6, "hh mode: recirculation probability 2^-shift")
 	flag.IntVar(&cfg.RingCap, "ring-cap", 256, "ingest ring capacity in batch descriptors")
 	flag.IntVar(&cfg.SlabBlocks, "slab-blocks", 256, "frame slab block count")
 	flag.IntVar(&cfg.BlockSize, "block-size", 32<<10, "frame slab block size in bytes")
@@ -86,15 +89,18 @@ type daemonConfig struct {
 	Unix       string // unix-socket frame-stream path, "" to disable
 	HTTP       string // control-plane address, "" to disable
 	Pcap       string // startup capture source, "" to skip
-	Track      string
-	Shift      uint
-	Window     int
-	K          uint64
-	BasePrefix string
-	RingCap    int
-	SlabBlocks int
-	BlockSize  int
-	Batch      int
+	Track       string
+	Shift       uint
+	Window      int
+	K           uint64
+	BasePrefix  string
+	H0Bits      float64
+	CheckEvery  uint64
+	SampleShift uint
+	RingCap     int
+	SlabBlocks  int
+	BlockSize   int
+	Batch       int
 }
 
 // daemon is one running stat4d instance: the bound sharded runtime, the
@@ -117,7 +123,11 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	if cfg.Shards < 1 {
 		return nil, errors.New("shards must be at least 1")
 	}
-	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1})
+	// The daemon's program carries every measure — the frequency family plus
+	// entropy and heavy hitters — so /bind can move between them at runtime
+	// without rebuilding; the "entropy-hh" registry entry keeps this sizing
+	// under the stage budget.
+	lib := stat4p4.Build(stat4p4.Options{Slots: 2, Size: 256, Stages: 1, Entropy: true, HeavyHitter: true})
 	sr, err := stat4p4.NewShardedRuntime(lib, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -153,10 +163,28 @@ func bindTrack(sr *stat4p4.ShardedRuntime, cfg daemonConfig) error {
 		_, err = sr.BindFreqProto(0, 0, stat4p4.AllIPv4(), 0, 256, 1, 1, cfg.K)
 	case "len":
 		_, err = sr.BindFreqLen(0, 0, stat4p4.AllIPv4(), 6, 0, 256, 1, 1, cfg.K)
+	case "entropy":
+		var base packet.IP4
+		base, err = parseAddr(cfg.BasePrefix)
+		if err == nil {
+			h0 := entropyH0(sr.Library(), cfg.H0Bits)
+			_, err = sr.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 8, uint64(base)>>8, 256, h0, cfg.CheckEvery)
+		}
+	case "hh":
+		_, err = sr.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, cfg.SampleShift)
 	default:
 		err = fmt.Errorf("unknown track %q", cfg.Track)
 	}
 	return err
+}
+
+// entropyH0 converts a threshold in bits to the fixed-point form the
+// collapse check compares against.
+func entropyH0(lib *stat4p4.Library, bits float64) uint64 {
+	if bits <= 0 {
+		return 0
+	}
+	return uint64(bits * float64(uint64(1)<<lib.Opts.EntropyFrac))
 }
 
 // start opens the listeners and plays the startup capture. It returns once
@@ -327,6 +355,68 @@ func (d *daemon) mux() *http.ServeMux {
 		}
 		writeJSON(w, out)
 	})
+	mux.HandleFunc("/entropy", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := intParam(r, "slot", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var snap stat4p4.EntropySnapshot
+		d.engine.Do(func() {
+			snap, err = d.engine.Runtime().MergedEntropy(slot)
+		})
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"slot": slot, "total": snap.Total, "sum": snap.Sum,
+			"scaled_bits": snap.ScaledBits, "bits": snap.Bits,
+		})
+	})
+	mux.HandleFunc("/heavyhitters", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := intParam(r, "slot", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var entries []stat4p4.HHEntry
+		var rejected uint64
+		d.engine.Do(func() {
+			sr := d.engine.Runtime()
+			entries, err = sr.MergedHeavyHitters(slot)
+			if err == nil {
+				for i := 0; i < sr.NumShards(); i++ {
+					var rej uint64
+					rej, err = sr.ShardRuntime(i).HHRejected(slot)
+					if err != nil {
+						return
+					}
+					rejected += rej
+				}
+			}
+		})
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		type hh struct {
+			Key   string `json:"key"` // dotted quad of the (unshifted) key
+			Raw   uint64 `json:"raw_key"`
+			Count uint64 `json:"count"`
+		}
+		out := struct {
+			Slot     int    `json:"slot"`
+			Rejected uint64 `json:"rejected"`
+			Entries  []hh   `json:"entries"`
+		}{Slot: slot, Rejected: rejected}
+		for _, e := range entries {
+			out.Entries = append(out.Entries, hh{
+				Key: packet.IP4(e.Key).String(), Raw: e.Key, Count: e.Count,
+			})
+		}
+		writeJSON(w, out)
+	})
 	mux.HandleFunc("/bind", d.handleBind)
 	return mux
 }
@@ -334,18 +424,23 @@ func (d *daemon) mux() *http.ServeMux {
 // bindRequest is the /bind POST body — the -track family as a wire message,
 // plus unbind and slot reset.
 type bindRequest struct {
-	Mode  string `json:"mode"` // window | dst24 | proto | len | unbind | reset
+	Mode  string `json:"mode"` // window | dst24 | proto | len | entropy | hh | unbind | reset
 	Stage int    `json:"stage"`
 	Slot  int    `json:"slot"`
 	// Window parameters.
 	IntervalShift uint `json:"interval_shift"`
 	Window        int  `json:"window"`
 	// Frequency parameters.
-	Base string `json:"base"` // dst24: dotted-quad /16 base
+	Base string `json:"base"` // dst24/entropy: dotted-quad /16 base
 	Size int    `json:"size"`
 	Pa   uint64 `json:"pa"`
 	Pb   uint64 `json:"pb"`
 	K    uint64 `json:"k"`
+	// Entropy parameters.
+	H0Bits     float64 `json:"h0_bits"`     // collapse threshold in bits (0 disables)
+	CheckEvery uint64  `json:"check_every"` // power of two, 0 → every observation
+	// Heavy-hitter parameter.
+	SampleShift uint `json:"sample_shift"` // recirculation probability 2^-shift
 	// Unbind target.
 	Entry uint64 `json:"entry"`
 }
@@ -395,6 +490,19 @@ func (d *daemon) handleBind(w http.ResponseWriter, r *http.Request) {
 			id, err = sr.BindFreqProto(req.Stage, req.Slot, stat4p4.AllIPv4(), 0, req.Size, req.Pa, req.Pb, req.K)
 		case "len":
 			id, err = sr.BindFreqLen(req.Stage, req.Slot, stat4p4.AllIPv4(), 6, 0, req.Size, req.Pa, req.Pb, req.K)
+		case "entropy":
+			base := req.Base
+			if base == "" {
+				base = "10.0.0.0"
+			}
+			var ip packet.IP4
+			ip, err = parseAddr(base)
+			if err == nil {
+				h0 := entropyH0(sr.Library(), req.H0Bits)
+				id, err = sr.BindEntropyDst(req.Stage, req.Slot, stat4p4.AllIPv4(), 8, uint64(ip)>>8, req.Size, h0, req.CheckEvery)
+			}
+		case "hh":
+			id, err = sr.BindHeavyHitterSrc(req.Stage, req.Slot, stat4p4.AllIPv4(), 0, req.SampleShift)
 		case "unbind":
 			err = sr.Unbind(req.Stage, p4.EntryID(req.Entry))
 		case "reset":
@@ -419,8 +527,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// httpErr answers with a JSON error body — every endpoint speaks JSON, so
+// clients never need a second parser for the failure path.
 func httpErr(w http.ResponseWriter, code int, err error) {
-	http.Error(w, err.Error(), code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("encode error body: %v", encErr)
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

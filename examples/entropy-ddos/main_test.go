@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEntropyDDoSSmoke replays a scaled-down trace (same rate ratio, 1/10th
+// the duration) and requires the entropy collapse to fire an in-switch alert
+// after the flood begins.
+func TestEntropyDDoSSmoke(t *testing.T) {
+	cfg := defaultEntropyConfig()
+	cfg.FloodStart = 1e8
+	cfg.EndNs = 3e8
+	var sb strings.Builder
+	if err := run(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "something is wrong") {
+		t.Fatalf("scaled-down flood went undetected:\n%s", out)
+	}
+	if !strings.Contains(out, "first in-switch alert") {
+		t.Fatalf("no alert line in output:\n%s", out)
+	}
+}
+
+// TestEntropyDDoSFull runs the example at its default scale.
+func TestEntropyDDoSFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale example run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, defaultEntropyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "something is wrong") {
+		t.Fatalf("full run failed:\n%s", sb.String())
+	}
+}

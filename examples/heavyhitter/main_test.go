@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeavyHitterSmoke runs a shortened trace and requires the true top
+// talker of the zipfian mix to surface as the heaviest candidate.
+func TestHeavyHitterSmoke(t *testing.T) {
+	cfg := defaultHHConfig()
+	cfg.EndNs = 3e8
+	cfg.SampleShift = 4
+	var sb strings.Builder
+	if err := run(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "something is wrong") {
+		t.Fatalf("no heavy hitters surfaced:\n%s", out)
+	}
+	if !strings.Contains(out, "identification correct: true") {
+		t.Fatalf("top talker misidentified:\n%s", out)
+	}
+}
+
+// TestHeavyHitterFull runs the example at its default scale.
+func TestHeavyHitterFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale example run skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, defaultHHConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "identification correct: true") {
+		t.Fatalf("full run failed:\n%s", sb.String())
+	}
+}

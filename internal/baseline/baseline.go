@@ -134,6 +134,38 @@ func MaxOf(xs []float64) float64 {
 	return m
 }
 
+// Entropy returns the Shannon entropy, in bits, of a frequency distribution:
+// H = log2(T) − (1/T)·Σ f·log2(f) with T = Σ f. It returns 0 for an empty
+// distribution. This is the float64 ground truth for core.Entropy's
+// fixed-point accumulator.
+func Entropy(freq []uint64) float64 {
+	var total uint64
+	for _, f := range freq {
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range freq {
+		if f > 1 {
+			s += float64(f) * math.Log2(float64(f))
+		}
+	}
+	return math.Log2(float64(total)) - s/float64(total)
+}
+
+// NormalizedEntropy returns Entropy divided by its maximum log2(len(freq)),
+// the [0,1] detection signal of Ding et al.: 1 for a uniform spread, near 0
+// when the traffic concentrates on one value. Distributions with fewer than
+// two cells carry no spread information and return 0.
+func NormalizedEntropy(freq []uint64) float64 {
+	if len(freq) < 2 {
+		return 0
+	}
+	return Entropy(freq) / math.Log2(float64(len(freq)))
+}
+
 // SqrtError returns the relative error of an approximation a to the
 // fractional square root of y: |a − √y| / √y. It returns 0 when y is 0.
 func SqrtError(y, a uint64) float64 {

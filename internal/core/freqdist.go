@@ -25,6 +25,7 @@ type FreqDist struct {
 	freq []uint64
 	m    Moments
 	pct  []*Percentile
+	ent  *Entropy
 }
 
 // NewFreqDist returns a frequency distribution over the value domain
@@ -47,9 +48,15 @@ func (d *FreqDist) Freq(v uint64) uint64 {
 	return d.freq[v]
 }
 
-// Frequencies returns the backing counter array. The slice is live; callers
-// must treat it as read-only.
-func (d *FreqDist) Frequencies() []uint64 { return d.freq }
+// Frequencies returns a copy of the counter array. Earlier versions returned
+// the live backing slice, which let callers silently corrupt state behind the
+// moments and percentile markers; every call site is a cold read path
+// (baselines, controller planning), so the copy costs nothing that matters.
+func (d *FreqDist) Frequencies() []uint64 {
+	out := make([]uint64, len(d.freq))
+	copy(out, d.freq)
+	return out
+}
 
 // Moments returns the distribution's scaled moments.
 func (d *FreqDist) Moments() *Moments { return &d.m }
@@ -68,6 +75,9 @@ func (d *FreqDist) Observe(v uint64) error {
 	f := d.freq[v]
 	d.m.AddFrequency(f, f == 0)
 	d.freq[v] = f + 1
+	if d.ent != nil {
+		d.ent.observe(f + 1)
+	}
 	//stat4:exempt:boundedloop markers are registered at configuration time; the emitted program unrolls one stage per marker
 	for _, p := range d.pct {
 		p.observe(d, v)
@@ -96,6 +106,9 @@ func (d *FreqDist) Reset() {
 	d.m.Reset()
 	for _, p := range d.pct {
 		p.reset()
+	}
+	if d.ent != nil {
+		d.ent.Reset()
 	}
 }
 

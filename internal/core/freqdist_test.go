@@ -66,6 +66,33 @@ func TestFreqDistMomentsMatchBaseline(t *testing.T) {
 	}
 }
 
+// TestFrequenciesCopyIsSafe regression: Frequencies used to return the live
+// backing slice, so a caller scribbling on it desynchronized the counters
+// from the moments and percentile markers. It must return a copy.
+func TestFrequenciesCopyIsSafe(t *testing.T) {
+	d := NewFreqDist(16)
+	med := d.TrackMedian()
+	for i := 0; i < 200; i++ {
+		d.Observe(uint64(i % 16))
+	}
+	before := d.Moments().Sum
+	snap := d.Frequencies()
+	for i := range snap {
+		snap[i] = 0 // a hostile caller
+	}
+	if d.Freq(3) == 0 {
+		t.Fatal("mutating the Frequencies() result reached the tracked counters")
+	}
+	if got := d.Moments().Sum; got != before {
+		t.Fatalf("moments changed under caller mutation: %d != %d", got, before)
+	}
+	// The markers still step against intact counters.
+	d.Observe(15)
+	if !med.Initialized() {
+		t.Fatal("median marker lost state")
+	}
+}
+
 func TestFreqDistOutOfRange(t *testing.T) {
 	d := NewFreqDist(8)
 	if err := d.Observe(8); !errors.Is(err, ErrOutOfRange) {

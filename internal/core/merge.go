@@ -76,6 +76,9 @@ func (d *FreqDist) MergeFrom(o *FreqDist) error {
 	for _, p := range d.pct {
 		p.Rederive(d)
 	}
+	if d.ent != nil {
+		d.ent.Rederive(d.freq)
+	}
 	return nil
 }
 

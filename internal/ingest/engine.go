@@ -142,6 +142,7 @@ func New(sr *stat4p4.ShardedRuntime, cfg Config) *Engine {
 	e.reg.RegisterCounter("pkts_in", "frames handed to the shard pipelines", func() uint64 { return e.ss.Stats().PktsIn })
 	e.reg.RegisterCounter("pkts_out", "frames emitted by the shard pipelines", func() uint64 { return e.ss.Stats().PktsOut })
 	e.reg.RegisterCounter("parse_errors", "frames rejected by the shard parsers", func() uint64 { return e.ss.Stats().ParseErrors })
+	e.reg.RegisterCounter("recirculated", "heavy-hitter promotion passes taken through the pipelines", func() uint64 { return e.ss.Stats().Recirculated })
 	go e.run()
 	return e
 }

@@ -250,6 +250,49 @@ func TestLog2FixedEdgeCases(t *testing.T) {
 	}
 }
 
+// TestLog2FixedSaturationBoundary pins the saturation guard at the
+// documented limit frac == Log2MaxFrac for operands just below and at powers
+// of two near 2^63 — the region where e·2^frac presses against the top of
+// the 64-bit result. Every value here must come out natural (not the
+// ^uint64(0) sentinel), undershoot math.Log2 by at most the linearisation
+// bound, and the guard must stay tight one fraction bit further up: at each
+// frac > Log2MaxFrac the largest representable exponent passes while the
+// first unrepresentable one saturates.
+func TestLog2FixedSaturationBoundary(t *testing.T) {
+	const frac = Log2MaxFrac
+	for _, p := range []uint{61, 62, 63} {
+		for _, y := range []uint64{1<<p - 2, 1<<p - 1, 1 << p, 1<<p + 1, 1<<p + 2} {
+			got := Log2Fixed(y, frac)
+			// frac = 58 leaves 6 integer bits, enough for any e ≤ 63:
+			// nothing in range saturates (the all-ones result for the
+			// maximal operand is pinned separately in the edge cases).
+			if got == ^uint64(0) {
+				t.Fatalf("Log2Fixed(%d, %d) saturated inside the representable range", y, frac)
+			}
+			approx := float64(got) / float64(uint64(1)<<frac)
+			want := math.Log2(float64(y))
+			if approx > want+1e-9 {
+				t.Errorf("Log2Fixed(%d, %d) = %.12f exceeds math.Log2 = %.12f", y, frac, approx, want)
+			}
+			if approx < want-0.0862 {
+				t.Errorf("Log2Fixed(%d, %d) = %.12f undershoots math.Log2 = %.12f beyond the 0.0861 bound", y, frac, approx, want)
+			}
+		}
+	}
+	// Guard tightness above Log2MaxFrac: with 64-frac integer bits the
+	// largest representable exponent is 2^(64-frac)-1; one more must
+	// saturate, one less must not — an off-by-one either way fails here.
+	for fr := uint(Log2MaxFrac + 1); fr < 64; fr++ {
+		eMax := uint(1)<<(64-fr) - 1
+		if got := Log2Fixed(1<<eMax, fr); got != uint64(eMax)<<fr {
+			t.Errorf("frac %d: largest exponent %d gave %#x, want %#x", fr, eMax, got, uint64(eMax)<<fr)
+		}
+		if got := Log2Fixed(1<<(eMax+1), fr); got != ^uint64(0) {
+			t.Errorf("frac %d: exponent %d must saturate, got %#x", fr, eMax+1, got)
+		}
+	}
+}
+
 // TestLog2FixedVsMathLog2 cross-checks the fixed-point approximation against
 // math.Log2 at a wide fraction: the mantissa linearisation of log2(1+t)
 // undershoots by at most ~0.0861, and truncation never rounds up.

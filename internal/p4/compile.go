@@ -62,9 +62,12 @@ type inst struct {
 }
 
 // plan is the compiled program: the flattened control flow plus the resolved
-// action set that table inserts bind entries against.
+// action set that table inserts bind entries against. recirc is the lowered
+// recirculation pass (empty when the program declares none); its branch and
+// jump targets index into the recirc slice itself.
 type plan struct {
 	code    []inst
+	recirc  []inst
 	actions map[string]*compiledAction
 }
 
@@ -77,7 +80,11 @@ func (sw *Switch) compile() {
 		acts[a.Name] = sw.compileAction(a)
 	}
 	c := &compiler{sw: sw, acts: acts}
-	sw.plan = &plan{code: c.lowerStmts(nil, sw.prog.Control), actions: acts}
+	sw.plan = &plan{
+		code:    c.lowerStmts(nil, sw.prog.Control),
+		recirc:  c.lowerStmts(nil, sw.prog.RecircControl),
+		actions: acts,
+	}
 
 	// Tables resolve entry actions against the compiled set at insert,
 	// modify and restore time — the rule-install moment, as on hardware.
@@ -181,9 +188,16 @@ func (c *compiler) lowerStmts(code []inst, stmts []Stmt) []inst {
 // a tree, minus the per-packet name resolution.
 //
 //stat4:datapath
-//stat4:exempt:boundedloop pc only moves forward through the compile-time flattened control flow; the walk is bounded by the emitted program's size
 func (sw *Switch) execPlan(ctx *Ctx) {
-	code := sw.plan.code
+	sw.execCode(ctx, sw.plan.code)
+}
+
+// execCode runs one lowered statement list — the main pass or the
+// recirculation pass.
+//
+//stat4:datapath
+//stat4:exempt:boundedloop pc only moves forward through the compile-time flattened control flow; the walk is bounded by the emitted program's size
+func (sw *Switch) execCode(ctx *Ctx, code []inst) {
 	for pc := 0; pc < len(code); {
 		in := &code[pc]
 		switch in.kind {

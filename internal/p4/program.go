@@ -113,6 +113,20 @@ type Program struct {
 	Tables    []*TableDef
 	Control   []Stmt
 
+	// RecircControl is the program's recirculation pass: when Control leaves
+	// the field named by RecircField non-zero, the packet makes exactly one
+	// extra trip through these statements (with the flag cleared first, so
+	// the pass cannot re-request itself — the bound is structural, not a
+	// counter). This models the "recirculate with probability 2^-k" path of
+	// probabilistic-recirculation heavy hitters: the main pass samples, the
+	// extra pass promotes. Set with SetRecirc; the stage allocator charges
+	// the pass against the stages left after the main placement, which is how
+	// the pisa-3pass budget gates recirculating programs.
+	RecircControl []Stmt
+	// RecircField is the metadata flag requesting the extra pass.
+	RecircField FieldID
+	hasRecirc   bool
+
 	fieldByName map[string]FieldID
 	// mergeExempt records declared exceptions to the mergelaw write
 	// discipline, keyed by "action\x00register" — see ExemptMergeWrite.
@@ -244,6 +258,22 @@ func (p *Program) MergeWriteExemptions() [][3]string {
 	return out
 }
 
+// SetRecirc installs the recirculation pass: flag is the metadata field whose
+// non-zero value at the end of the main control flow requests the single
+// extra pass over stmts. Like the Add helpers it is called by trusted program
+// builders at startup.
+func (p *Program) SetRecirc(flag FieldID, stmts []Stmt) {
+	if len(stmts) == 0 {
+		panic("p4: SetRecirc with an empty pass")
+	}
+	p.RecircField = flag
+	p.RecircControl = stmts
+	p.hasRecirc = true
+}
+
+// HasRecirc reports whether the program declares a recirculation pass.
+func (p *Program) HasRecirc() bool { return p.hasRecirc }
+
 // AddAction declares an action.
 func (p *Program) AddAction(a *Action) {
 	p.Actions = append(p.Actions, a)
@@ -350,7 +380,19 @@ func (p *Program) Validate() error {
 			return fail("table %q has non-positive capacity", t.Name)
 		}
 	}
-	return p.validateStmts(p.Control, 0)
+	if err := p.validateStmts(p.Control, 0); err != nil {
+		return err
+	}
+	if len(p.RecircControl) > 0 {
+		if !p.hasRecirc {
+			return fail("RecircControl set without SetRecirc; the flag field is undeclared")
+		}
+		if int(p.RecircField) >= len(p.Fields) || p.RecircField < 0 {
+			return fail("recirculation flag references undeclared field %d", p.RecircField)
+		}
+		return p.validateStmts(p.RecircControl, 0)
+	}
+	return nil
 }
 
 func (p *Program) validateStmts(stmts []Stmt, depth int) error {

@@ -397,6 +397,7 @@ func (ss *ShardedSwitch) Stats() Stats {
 		total.ParseErrors += s.ParseErrors
 		total.RuntimeErrors += s.RuntimeErrors
 		total.DigestDrops += s.DigestDrops
+		total.Recirculated += s.Recirculated
 	}
 	total.DigestDrops += ss.digestDrops.Load()
 	return total

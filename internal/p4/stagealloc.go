@@ -156,6 +156,10 @@ type StageReport struct {
 	Stages     []StageUse // one entry per stage the placement touched
 	StagesUsed int        // == len(Stages); > Model.Stages when the program does not fit
 	Fit        bool
+	// RecircFloor is the stage index where the recirculation pass started
+	// placing (the main pass's depth), 0 for programs without one. The
+	// recirc pass's own depth is StagesUsed − RecircFloor.
+	RecircFloor int
 	// Violations lists, deduplicated and in placement order, every reason
 	// the program exceeds the model.
 	Violations []string
@@ -176,8 +180,9 @@ func AllocateStages(prog *Program, tm TargetModel) (*StageReport, error) {
 		return nil, err
 	}
 	a := &stageAlloc{
-		sw: sw,
-		tm: tm,
+		sw:   sw,
+		code: sw.plan.code,
+		tm:   tm,
 		st: &allocState{
 			avail:   make([]int, len(prog.Fields)),
 			regNext: make(map[string]int),
@@ -189,9 +194,22 @@ func AllocateStages(prog *Program, tm TargetModel) (*StageReport, error) {
 	}
 	a.walkRegion(0, len(sw.plan.code), 0)
 
+	recircFloor := 0
+	if len(sw.plan.recirc) > 0 {
+		// The recirculation pass re-enters the pipeline after the main pass
+		// has run to completion, so nothing in it may place before the stages
+		// the main placement consumed: its control floor is the main pass's
+		// depth. Metadata (PHV) values and register-access ordering carry
+		// across the trip, so the dataflow state threads through unchanged.
+		recircFloor = len(a.led.stages)
+		a.code = sw.plan.recirc
+		a.walkRegion(0, len(sw.plan.recirc), recircFloor)
+	}
+
 	rep := &StageReport{
 		ResourceReport: AnalyzeProgram(prog),
 		Model:          tm,
+		RecircFloor:    recircFloor,
 		Violations:     a.violations,
 	}
 	for i := range a.led.stages {
@@ -388,6 +406,7 @@ type need struct {
 // stageAlloc drives the placement walk.
 type stageAlloc struct {
 	sw         *Switch
+	code       []inst // the instruction region being walked (main or recirc)
 	tm         TargetModel
 	st         *allocState
 	led        *stageLedger
@@ -484,7 +503,7 @@ func (a *stageAlloc) refAvail(r Ref) int {
 // strictly structured branch/jump pairs, so the region structure of the
 // flattened code is recovered exactly (see lowerStmts).
 func (a *stageAlloc) walkRegion(lo, hi, ctrl int) {
-	code := a.sw.plan.code
+	code := a.code
 	pc := lo
 	for pc < hi {
 		in := &code[pc]

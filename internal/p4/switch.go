@@ -104,6 +104,10 @@ type Stats struct {
 	// DigestDrops counts digests lost because the channel to the control
 	// plane was full.
 	DigestDrops uint64
+	// Recirculated counts packets that took the program's recirculation
+	// pass — the extra pipeline trips a deployment pays for, so a reader can
+	// verify the sampling probability (2^-k of traffic) from the outside.
+	Recirculated uint64
 }
 
 // switchCounters consolidates the global counters in one place. Every field
@@ -117,6 +121,7 @@ type switchCounters struct {
 	parseErrs   atomic.Uint64
 	runtimeErrs atomic.Uint64
 	digestDrops atomic.Uint64
+	recircs     atomic.Uint64
 }
 
 // Observer receives data-plane instrumentation events. Implementations must
@@ -294,6 +299,7 @@ func (sw *Switch) Stats() Stats {
 		ParseErrors:   sw.ctr.parseErrs.Load(),
 		RuntimeErrors: sw.ctr.runtimeErrs.Load(),
 		DigestDrops:   sw.ctr.digestDrops.Load(),
+		Recirculated:  sw.ctr.recircs.Load(),
 	}
 }
 
@@ -370,6 +376,19 @@ func (sw *Switch) processPacket(tsNs uint64, inPort uint16, pkt *packet.Packet) 
 		sw.execStmts(ctx, sw.prog.Control)
 	} else {
 		sw.execPlan(ctx)
+	}
+	// Recirculation: when the main pass raised the flag, the packet makes
+	// exactly one extra trip. The flag clears before the pass runs, so the
+	// pass cannot re-request it — the bound is structural, mirroring a
+	// deployment that budgets one recirculation (the pisa-3pass model).
+	if sw.prog.hasRecirc && fields[sw.prog.RecircField] != 0 {
+		fields[sw.prog.RecircField] = 0
+		sw.ctr.recircs.Add(1)
+		if sw.mode == ExecTree {
+			sw.execStmts(ctx, sw.prog.RecircControl)
+		} else {
+			sw.execCode(ctx, sw.plan.recirc)
+		}
 	}
 	if fields[sw.std.Drop] != 0 {
 		sw.ctr.dropped.Add(1)

@@ -43,7 +43,8 @@ type MatchSpec struct {
 // BindingConfig is one binding-table entry in declarative form.
 type BindingConfig struct {
 	// Kind selects the tracked statistic: window, window-bytes, freq-dst,
-	// freq-dport, freq-proto, freq-len, freq-echo, sparse-dst, sparse-src.
+	// freq-dport, freq-proto, freq-len, freq-echo, sparse-dst, sparse-src,
+	// entropy-dst, entropy-src, hh-dst, hh-src.
 	Kind  string    `json:"kind"`
 	Stage int       `json:"stage"`
 	Slot  int       `json:"slot"`
@@ -62,6 +63,15 @@ type BindingConfig struct {
 
 	// K arms the anomaly check at K·σ (0 disables for frequency modes).
 	K uint64 `json:"k,omitempty"`
+
+	// Entropy parameters: H0 arms the collapse check at H0/2^EntropyFrac
+	// bits (0 disables); CheckEvery rate-limits it (power of two, 0 → 1).
+	H0         uint64 `json:"h0,omitempty"`
+	CheckEvery uint64 `json:"check_every,omitempty"`
+
+	// SampleShift is the heavy-hitter recirculation exponent: packets
+	// recirculate with probability 2^-SampleShift.
+	SampleShift uint `json:"sample_shift,omitempty"`
 }
 
 // LoadAppConfig decodes and sanity-checks a JSON application description.
@@ -166,6 +176,14 @@ func (cfg *AppConfig) applyBinding(rt *Runtime, b BindingConfig, m Match) (p4.En
 		return rt.BindSparseDst(b.Stage, b.Slot, m, b.Shift, b.K)
 	case "sparse-src":
 		return rt.BindSparseSrc(b.Stage, b.Slot, m, b.Shift, b.K)
+	case "entropy-dst":
+		return rt.BindEntropyDst(b.Stage, b.Slot, m, b.Shift, b.Base, size, b.H0, b.CheckEvery)
+	case "entropy-src":
+		return rt.BindEntropySrc(b.Stage, b.Slot, m, b.Shift, b.Base, size, b.H0, b.CheckEvery)
+	case "hh-dst":
+		return rt.BindHeavyHitterDst(b.Stage, b.Slot, m, b.Shift, b.SampleShift)
+	case "hh-src":
+		return rt.BindHeavyHitterSrc(b.Stage, b.Slot, m, b.Shift, b.SampleShift)
 	default:
 		return 0, fmt.Errorf("unknown binding kind %q", b.Kind)
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"stat4/internal/intstat"
 	"stat4/internal/p4"
 )
 
@@ -64,6 +65,16 @@ var ScalarRegisters = []string{
 // [slot, interval value, N·x, threshold, timestamp ns].
 const DigestAnomaly = 1
 
+// DigestEntropy is the digest ID of entropy-collapse alerts. Values carried:
+// [slot, total observations, scaled entropy·total, threshold·total,
+// timestamp ns].
+const DigestEntropy = 2
+
+// DigestHeavyHitter is the digest ID emitted when the recirculation pass
+// promotes a new candidate flow into the heavy-hitter table. Values carried:
+// [slot, flow key, timestamp ns].
+const DigestHeavyHitter = 3
+
 // EchoBias re-exports the parser's bias that shifts the signed echo test
 // integer into unsigned counter-index space.
 const EchoBias = p4.EchoBias
@@ -72,6 +83,8 @@ const EchoBias = p4.EchoBias
 const (
 	kindFreq   = 0
 	kindWindow = 1
+	// kindSparse = 2 lives in sparse.go; kindEntropy = 3 and kindHH = 4 in
+	// entropy.go and heavyhitter.go.
 )
 
 // Options sizes the emitted program.
@@ -118,6 +131,27 @@ type Options struct {
 	// bind_sparse_* actions. It roughly doubles the register footprint, so
 	// it is off by default. Requires a power-of-two Size.
 	Sparse bool
+	// Entropy adds the integer-only normalized-entropy measure: a per-cell
+	// contribution register c_i = f_i·log2fix(f_i) maintained alongside the
+	// counters, a per-slot scalar S = Σ c_i, and the bind_ent_* actions with
+	// a periodic collapse check H·T < h0·T evaluated without division. The
+	// fixed-point log2 runs as a nested-if MSB tree with constant-shift
+	// leaves (the Figure 2 idiom). Requires runtime multiplication, so it is
+	// incompatible with Strict.
+	Entropy bool
+	// EntropyFrac is the fixed-point fractional width of the entropy log2
+	// (default 16, max intstat.Log2MaxFrac). Thresholds are expressed in the
+	// same scale: h0 = bits·2^EntropyFrac.
+	EntropyFrac uint
+	// HeavyHitter adds the probabilistic-recirculation heavy-hitter path:
+	// the main pass hashes the flow key and recirculates with probability
+	// 2^-k (k per binding), and the single extra pass promotes the candidate
+	// into a small exact-count table with 2-way hash probing. Needs no
+	// runtime multiplication, so it composes with Strict.
+	HeavyHitter bool
+	// HHTableSize is the candidate-table capacity per slot (default 16,
+	// power of two).
+	HHTableSize int
 }
 
 // DefaultOptions matches the case-study defaults: 8 distribution slots of
@@ -136,6 +170,7 @@ type Library struct {
 
 	f                 fields // scratch and reply field handles
 	declaredMulLeaves map[string]bool
+	declaredLogLeaves map[string]bool
 }
 
 // fields collects every metadata field the emitted logic uses.
@@ -152,6 +187,16 @@ type fields struct {
 	delta, dsq                          p4.FieldID
 	doSqrt, doCheck                     p4.FieldID
 	repValid                            p4.FieldID
+
+	// Entropy-mode scratch (entropy.go).
+	lf, lt, ec, ecold, es       p4.FieldID
+	h0, entchk, entg            p4.FieldID
+	enta, entb, ht              p4.FieldID
+	// Heavy-hitter scratch (heavyhitter.go). The hh* fields carry the flow
+	// key and table coordinates across the recirculation trip, so no later
+	// binding stage may reuse them.
+	hhkey, hhbase, hhslot, hhgate p4.FieldID
+	recirc                        p4.FieldID
 }
 
 // Build emits the Stat4 program. It panics on malformed options (sizes must
@@ -176,6 +221,25 @@ func Build(opts Options) *Library {
 	if opts.Sparse && opts.Size&(opts.Size-1) != 0 {
 		panic(fmt.Sprintf("stat4p4: Sparse requires a power-of-two Size, have %d", opts.Size))
 	}
+	if opts.Entropy {
+		if opts.Strict {
+			panic("stat4p4: Entropy needs runtime multiplication; incompatible with Strict")
+		}
+		if opts.EntropyFrac == 0 {
+			opts.EntropyFrac = 16
+		}
+		if opts.EntropyFrac > intstat.Log2MaxFrac {
+			panic(fmt.Sprintf("stat4p4: EntropyFrac %d exceeds Log2MaxFrac %d", opts.EntropyFrac, intstat.Log2MaxFrac))
+		}
+	}
+	if opts.HeavyHitter {
+		if opts.HHTableSize == 0 {
+			opts.HHTableSize = 16
+		}
+		if opts.HHTableSize < 2 || opts.HHTableSize&(opts.HHTableSize-1) != 0 {
+			panic(fmt.Sprintf("stat4p4: HHTableSize must be a power of two ≥ 2, have %d", opts.HHTableSize))
+		}
+	}
 	prog := p4.NewProgram("stat4")
 	if opts.Strict {
 		prog.Target = p4.TargetStrict
@@ -190,6 +254,12 @@ func Build(opts Options) *Library {
 		lib.declareSparse()
 		lib.declareSparseLoad()
 	}
+	if opts.Entropy {
+		lib.declareEntropy()
+	}
+	if opts.HeavyHitter {
+		lib.declareHeavyHitter()
+	}
 	lib.declareTables()
 	lib.buildControl()
 	return lib
@@ -200,7 +270,7 @@ func (l *Library) declareFields() {
 	w64 := func(name string) p4.FieldID { return p.AddField(name, 64) }
 	f := &l.f
 	f.enable = p.AddField("m.enable", 1)
-	f.kind = p.AddField("m.kind", 2)
+	f.kind = p.AddField("m.kind", 3)
 	f.base = w64("m.base")
 	f.slotid = w64("m.slotid")
 	f.val = w64("m.val")
@@ -255,6 +325,22 @@ func (l *Library) declareFields() {
 	f.doSqrt = p.AddField("m.do_sqrt", 1)
 	f.doCheck = p.AddField("m.do_check", 1)
 	f.repValid = p.AddField("m.rep_valid", 1)
+	f.lf = w64("m.lf")
+	f.lt = w64("m.lt")
+	f.ec = w64("m.ec")
+	f.ecold = w64("m.ec_old")
+	f.es = w64("m.es")
+	f.h0 = w64("m.h0")
+	f.entchk = w64("m.entchk")
+	f.entg = w64("m.entg")
+	f.enta = w64("m.enta")
+	f.entb = w64("m.entb")
+	f.ht = w64("m.ht")
+	f.hhkey = w64("m.hhkey")
+	f.hhbase = w64("m.hhbase")
+	f.hhslot = w64("m.hhslot")
+	f.hhgate = w64("m.hhgate")
+	f.recirc = p.AddField("m.recirc", 1)
 }
 
 func (l *Library) declareRegisters() {
@@ -425,6 +511,12 @@ func (l *Library) declareTables() {
 	if l.Opts.Sparse {
 		bindable = append(bindable, "bind_sparse_dst", "bind_sparse_src")
 	}
+	if l.Opts.Entropy {
+		bindable = append(bindable, "bind_ent_dst", "bind_ent_src")
+	}
+	if l.Opts.HeavyHitter {
+		bindable = append(bindable, "bind_hh_dst", "bind_hh_src")
+	}
 	for s := 0; s < l.Opts.Stages; s++ {
 		name := fmt.Sprintf("bind%d", s)
 		l.BindTables = append(l.BindTables, name)
@@ -490,6 +582,14 @@ func (l *Library) updateBlock() []p4.Stmt {
 	)
 	if l.Opts.Sparse {
 		stmts = append(stmts, p4.If(eq(f.kind, kindSparse), l.sparseBlock()...))
+	}
+	if l.Opts.Entropy {
+		stmts = append(stmts, p4.If(eq(f.kind, kindEntropy),
+			p4.If(flt(f.val, f.size), l.entropyBlock()...),
+		))
+	}
+	if l.Opts.HeavyHitter {
+		stmts = append(stmts, p4.If(eq(f.kind, kindHH), l.hhBlock()...))
 	}
 	if !l.Opts.NoVariance {
 		stmts = append(stmts,

@@ -40,6 +40,12 @@ func Registered() []RegisteredProgram {
 			Note: "configs/synflood.json"},
 		{Name: "replay", Opts: Options{Slots: 1, Size: 256, Stages: 1},
 			Note: "cmd/stat4-replay sizing"},
+		{Name: "entropy", Opts: Options{Slots: 1, Size: 256, Stages: 1, Entropy: true},
+			Note: "integer entropy over a 256-value distribution (examples/entropy-ddos)"},
+		{Name: "heavyhitter", Opts: Options{Slots: 1, Size: 64, Stages: 1, HeavyHitter: true},
+			Note: "probabilistic-recirculation heavy hitters (examples/heavyhitter)"},
+		{Name: "entropy-hh", Opts: Options{Slots: 2, Size: 256, Stages: 1, Entropy: true, HeavyHitter: true},
+			Note: "entropy and heavy hitters composed in one program; one binding stage leaves the recirculation pass its stage headroom"},
 	}
 }
 
@@ -50,8 +56,14 @@ func Registered() []RegisteredProgram {
 // merges through the shared-clock core.Window path; sparse bucket keys are
 // replica-local). The mergelaw analyzer checks exactly this partition.
 func (l *Library) RecomputedRegisters() []string {
-	return []string{
+	out := []string{
 		RegN, RegXsum, RegXsumsq, RegVar, RegSD,
 		RegMed, RegLow, RegHigh, RegMedInit,
 	}
+	if l.Opts.Entropy {
+		// The entropy contribution cells and their per-slot sum are pure
+		// functions of the counters, rebuilt cell-for-cell after a merge.
+		out = append(out, RegEntCell, RegEntSum)
+	}
+	return out
 }

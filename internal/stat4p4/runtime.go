@@ -373,6 +373,50 @@ func (rt *Runtime) ResetSlot(slot int) error {
 			return err
 		}
 	}
+	if rt.lib.Opts.Entropy {
+		ecells, err := rt.sw.Register(RegEntCell)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rt.lib.Opts.Size; i++ {
+			if err := ecells.WriteCell(base+i, 0); err != nil {
+				return err
+			}
+		}
+		esum, err := rt.sw.Register(RegEntSum)
+		if err != nil {
+			return err
+		}
+		if err := esum.WriteCell(slot, 0); err != nil {
+			return err
+		}
+	}
+	if rt.lib.Opts.HeavyHitter {
+		keys, err := rt.sw.Register(RegHHKeys)
+		if err != nil {
+			return err
+		}
+		counts, err := rt.sw.Register(RegHHCounts)
+		if err != nil {
+			return err
+		}
+		hhBase := slot * rt.lib.Opts.HHTableSize
+		for i := 0; i < rt.lib.Opts.HHTableSize; i++ {
+			if err := keys.WriteCell(hhBase+i, 0); err != nil {
+				return err
+			}
+			if err := counts.WriteCell(hhBase+i, 0); err != nil {
+				return err
+			}
+		}
+		rej, err := rt.sw.Register(RegHHRej)
+		if err != nil {
+			return err
+		}
+		if err := rej.WriteCell(slot, 0); err != nil {
+			return err
+		}
+	}
 	for _, name := range ScalarRegisters {
 		reg, err := rt.sw.Register(name)
 		if err != nil {

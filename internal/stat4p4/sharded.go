@@ -34,10 +34,12 @@ import (
 // differ from a raw serial register by the marker's usual one-step lag.
 
 // SlotBinding records the percentile weights a frequency slot was bound
-// with, the one piece of binding state canonicalisation needs.
+// with, the one piece of binding state canonicalisation needs. Entropy marks
+// slots whose contribution cells and sum must also be rebuilt.
 type SlotBinding struct {
-	Slot   int
-	PA, PB uint64
+	Slot    int
+	PA, PB  uint64
+	Entropy bool
 }
 
 // slotScalars is the canonical scalar block of one frequency slot.
@@ -134,6 +136,21 @@ func (l *Library) CanonicalizeSnapshot(snap *p4.Snapshot, slots []SlotBinding) {
 		set(RegLow, s.low)
 		set(RegHigh, s.high)
 		set(RegMedInit, s.medinit)
+		if l.Opts.Entropy && sb.Entropy {
+			// Rebuild the contribution cells and their sum with the emitted
+			// arithmetic: c = (f·log2fix(f)) & mask, S = Σc & mask. The
+			// incremental datapath telescopes to exactly this, so both sides
+			// of the differential land on identical bytes.
+			mask := l.cellMask()
+			ecells := snap.Registers[RegEntCell]
+			var sum uint64
+			for i, fv := range counters[base : base+l.Opts.Size] {
+				c := (fv * intstat.Log2Fixed(fv, l.Opts.EntropyFrac)) & mask
+				ecells[base+i] = c
+				sum += c
+			}
+			snap.Registers[RegEntSum][sb.Slot] = sum & mask
+		}
 	}
 }
 
@@ -269,6 +286,45 @@ func (sr *ShardedRuntime) BindFreqLen(stage, slot int, m Match, shift uint, base
 		sr.noteFreq(slot, pa, pb)
 	}
 	return id, err
+}
+
+// BindEntropyDst fans Runtime.BindEntropyDst out to every shard and records
+// the slot for entropy canonicalisation.
+func (sr *ShardedRuntime) BindEntropyDst(stage, slot int, m Match, shift uint, base uint64, size int, h0, checkEvery uint64) (p4.EntryID, error) {
+	id, err := sr.each(func(rt *Runtime) (p4.EntryID, error) {
+		return rt.BindEntropyDst(stage, slot, m, shift, base, size, h0, checkEvery)
+	})
+	if err == nil {
+		sr.freq[slot] = SlotBinding{Slot: slot, PA: 1, PB: 1, Entropy: true}
+	}
+	return id, err
+}
+
+// BindEntropySrc fans Runtime.BindEntropySrc out to every shard.
+func (sr *ShardedRuntime) BindEntropySrc(stage, slot int, m Match, shift uint, base uint64, size int, h0, checkEvery uint64) (p4.EntryID, error) {
+	id, err := sr.each(func(rt *Runtime) (p4.EntryID, error) {
+		return rt.BindEntropySrc(stage, slot, m, shift, base, size, h0, checkEvery)
+	})
+	if err == nil {
+		sr.freq[slot] = SlotBinding{Slot: slot, PA: 1, PB: 1, Entropy: true}
+	}
+	return id, err
+}
+
+// MergedEntropy derives a slot's entropy from the counters summed across
+// shards — what a single switch tracking the union stream would report.
+func (sr *ShardedRuntime) MergedEntropy(slot int) (EntropySnapshot, error) {
+	counters, err := sr.MergedCounters(slot, 0)
+	if err != nil {
+		return EntropySnapshot{}, err
+	}
+	mask := sr.lib.cellMask()
+	var total, sum uint64
+	for _, f := range counters {
+		total += f
+		sum += (f * intstat.Log2Fixed(f, sr.lib.Opts.EntropyFrac)) & mask
+	}
+	return sr.lib.entropySnapshot(total&mask, sum&mask), nil
 }
 
 // BindWindow fans Runtime.BindWindow out to every shard. Each shard then

@@ -112,6 +112,39 @@ func (g *Spike) Next() (Pkt, bool) {
 	return Pkt{TsNs: ts, Frame: g.frame}, true
 }
 
+// Sourced emits UDP packets toward one destination whose SOURCE addresses
+// are Base + v with v drawn from Values per packet — ZipfValues gives the
+// elephant-and-mice mix of the heavy-hitter scenarios, UniformValues a flat
+// source spread. Jitter behaves as in LoadBalanced.
+type Sourced struct {
+	Dest   packet.IP4
+	Base   packet.IP4 // source address of value 0
+	Values ValueStream
+	Rate   float64
+	Start  uint64
+	End    uint64
+	Seed   int64
+	Jitter float64
+
+	rng *rand.Rand
+	now float64
+}
+
+// Next implements Stream.
+func (g *Sourced) Next() (Pkt, bool) {
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(g.Seed))
+		g.now = float64(g.Start)
+	}
+	g.now += gap(g.rng, g.Rate, g.Jitter)
+	ts := uint64(g.now)
+	if ts >= g.End {
+		return Pkt{}, false
+	}
+	src := packet.IP4(uint32(g.Base) + uint32(g.Values(g.rng)))
+	return Pkt{TsNs: ts, Frame: packet.NewUDPFrame(src, g.Dest, 40002, 80, 64)}, true
+}
+
 // SynFlood emits TCP SYN packets toward one destination from rotating
 // spoofed sources — the SYN-flood use case of Table 1.
 type SynFlood struct {

@@ -115,6 +115,37 @@ func TestSynFloodAllSyns(t *testing.T) {
 	}
 }
 
+func TestSourcedDrawsFromValues(t *testing.T) {
+	g := &Sourced{
+		Dest:   packet.ParseIP4(10, 0, 0, 1),
+		Base:   packet.ParseIP4(198, 18, 0, 0),
+		Values: ZipfValues(1.5, 1024, 9),
+		Rate:   1e6,
+		End:    1e7,
+		Seed:   5,
+	}
+	pkts := Collect(g, 0)
+	if len(pkts) < 5000 {
+		t.Fatalf("only %d packets", len(pkts))
+	}
+	counts := map[packet.IP4]uint64{}
+	for _, p := range pkts {
+		if p.Frame.IPv4.Dst != packet.ParseIP4(10, 0, 0, 1) {
+			t.Fatal("destination drifted")
+		}
+		counts[p.Frame.IPv4.Src]++
+	}
+	// A zipfian mix concentrates on value 0: the base source must dominate
+	// while the tail stays populated.
+	base := counts[packet.ParseIP4(198, 18, 0, 0)]
+	if base < uint64(len(pkts))/10 {
+		t.Fatalf("base source got %d of %d packets — no elephant", base, len(pkts))
+	}
+	if len(counts) < 50 {
+		t.Fatalf("only %d distinct sources — no mice tail", len(counts))
+	}
+}
+
 func TestWebMixSynFraction(t *testing.T) {
 	g := &WebMix{Dests: CaseStudyDests(), Rate: 1e6, End: 1e8, Seed: 4}
 	pkts := Collect(g, 0)
