@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench fuzz-smoke metrics-smoke stat4d-smoke check clean
+.PHONY: all build test race vet lint bench detect detect-smoke fuzz-smoke metrics-smoke stat4d-smoke check clean
 
 all: build
 
@@ -48,6 +48,23 @@ bench:
 	$(GO) test -run=^$$ -bench '$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_latest.txt
 	$(GO) run ./cmd/stat4-bench $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_$(BENCHN).json bench_latest.txt
 
+# detect regenerates DETECT_$(DETECTN).json: the detection-quality matrix —
+# every scenario of the traffic registry replayed against every detector
+# config (healthy and pathological) at 1 and 4 shards, scored for
+# time-to-detect, precision/recall/F1, drill-down accuracy and benign-twin
+# false alarms. Deterministic: fixed seeds and the virtual clock make the
+# scores byte-stable. Set DETECT_BASELINE to a previous artifact to record
+# quality deltas and gate on regressions.
+DETECTN ?= 1
+detect:
+	$(GO) run ./cmd/stat4-detect $(if $(DETECT_BASELINE),-baseline $(DETECT_BASELINE) -gate) -o DETECT_$(DETECTN).json -q
+
+# detect-smoke is the CI-speed slice of the same matrix: quarter-length
+# traces, the dominance audit and the benign false-alarm bounds enforced by
+# the test, plus the unit surface of the scorer.
+detect-smoke:
+	$(GO) test -run 'TestMatrixContract|TestRunDeterministic|TestSchedulerAgreement' -v ./internal/detect/
+
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # regressions in the parser round-trip, sqrt invariants, the compiled-plan
 # vs tree-walker equivalence, and the wheel-vs-heap scheduler equivalence
@@ -74,7 +91,7 @@ metrics-smoke:
 stat4d-smoke:
 	$(GO) test -run 'TestDaemonSmoke|TestPushClientRoundTrip' -v ./cmd/stat4d
 
-check: build vet lint race fuzz-smoke metrics-smoke stat4d-smoke
+check: build vet lint race detect-smoke fuzz-smoke metrics-smoke stat4d-smoke
 
 clean:
 	rm -rf bin

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"stat4/internal/detect"
 	"stat4/internal/netem"
 	"stat4/internal/p4"
 	"stat4/internal/packet"
@@ -40,11 +41,21 @@ func defaultEntropyConfig() entropyConfig {
 	}
 }
 
-func run(w io.Writer, cfg entropyConfig) error {
+// runStats is what a replay yields for quality scoring: the alert stream on
+// controller arrival times (detect.Alert timestamps include the 1 ms control
+// link) plus the final entropy snapshot.
+type runStats struct {
+	Alerts  []detect.Alert
+	Packets uint64
+	Bits    float64
+}
+
+func run(w io.Writer, cfg entropyConfig) (runStats, error) {
+	var stats runStats
 	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 256, Stages: 1, Entropy: true, DigestBuf: 4096})
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
-		return err
+		return stats, err
 	}
 	frac := lib.Opts.EntropyFrac
 
@@ -54,7 +65,7 @@ func run(w io.Writer, cfg entropyConfig) error {
 	h0 := uint64(4) << frac
 	dstBase := uint64(packet.ParseIP4(10, 0, 0, 0))
 	if _, err := rt.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, dstBase, 256, h0, cfg.CheckEvery); err != nil {
-		return err
+		return stats, err
 	}
 
 	sim := netem.NewSim()
@@ -64,6 +75,7 @@ func run(w io.Writer, cfg entropyConfig) error {
 	node.OnDigest = func(now uint64, d p4.Digest) {
 		if d.ID == stat4p4.DigestEntropy {
 			alerts = append(alerts, d)
+			stats.Alerts = append(stats.Alerts, detect.Alert{TsNs: now})
 		}
 	}
 
@@ -80,13 +92,14 @@ func run(w io.Writer, cfg entropyConfig) error {
 
 	snap, err := rt.ReadEntropy(0)
 	if err != nil {
-		return err
+		return stats, err
 	}
+	stats.Packets, stats.Bits = snap.Total, snap.Bits
 	fmt.Fprintf(w, "final mix: %d packets, %.3f bits of destination entropy (threshold 4)\n",
 		snap.Total, snap.Bits)
 	if len(alerts) == 0 {
 		fmt.Fprintln(w, "collapse not detected — something is wrong")
-		return nil
+		return stats, nil
 	}
 	first := alerts[0]
 	ts := first.Values[4]
@@ -94,11 +107,11 @@ func run(w io.Writer, cfg entropyConfig) error {
 	fmt.Fprintf(w, "flood started at %.3fs; first in-switch alert at %.3fs (%.1fms after onset) reporting %.3f bits\n",
 		float64(cfg.FloodStart)/1e9, float64(ts)/1e9, (float64(ts)-float64(cfg.FloodStart))/1e6, scaled)
 	fmt.Fprintf(w, "%d entropy digests pushed to the controller in total\n", len(alerts))
-	return nil
+	return stats, nil
 }
 
 func main() {
-	if err := run(os.Stdout, defaultEntropyConfig()); err != nil {
+	if _, err := run(os.Stdout, defaultEntropyConfig()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

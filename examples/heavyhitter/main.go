@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 
+	"stat4/internal/detect"
 	"stat4/internal/netem"
 	"stat4/internal/p4"
 	"stat4/internal/packet"
@@ -51,15 +52,26 @@ func (cfg hhConfig) stream() traffic.Stream {
 	}
 }
 
-func run(w io.Writer, cfg hhConfig) error {
+// runStats is what a replay yields for quality scoring: the candidate table
+// (heaviest first), the deterministic ground-truth tally and the true top
+// talker.
+type runStats struct {
+	Candidates []stat4p4.HHEntry
+	Tally      map[uint64]uint64
+	Total      uint64
+	TrueTop    uint64
+}
+
+func run(w io.Writer, cfg hhConfig) (runStats, error) {
+	var stats runStats
 	lib := stat4p4.Build(stat4p4.Options{Slots: 1, Size: 64, Stages: 1, HeavyHitter: true, DigestBuf: 4096})
 	rt, err := stat4p4.NewRuntime(lib)
 	if err != nil {
-		return err
+		return stats, err
 	}
 	// Full /32 source keys, one promotion pass per 2^SampleShift packets.
 	if _, err := rt.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, cfg.SampleShift); err != nil {
-		return err
+		return stats, err
 	}
 
 	sim := netem.NewSim()
@@ -75,44 +87,36 @@ func run(w io.Writer, cfg hhConfig) error {
 	sim.Run()
 
 	// Ground truth: replay the same deterministic stream and count per source.
-	truth := make(map[uint64]uint64)
-	var total uint64
+	truth, total := detect.TallySrcs(cfg.stream())
 	var top uint64
-	gt := cfg.stream()
-	for {
-		p, ok := gt.Next()
-		if !ok {
-			break
-		}
-		k := uint64(p.Frame.IPv4.Src)
-		truth[k]++
-		total++
-		if truth[k] > truth[top] {
+	for k, n := range truth {
+		if n > truth[top] || (n == truth[top] && k < top) {
 			top = k
 		}
 	}
 
 	entries, err := rt.ReadHeavyHitters(0)
 	if err != nil {
-		return err
+		return stats, err
 	}
-	stats := rt.Switch().Stats()
+	stats.Candidates, stats.Tally, stats.Total, stats.TrueTop = entries, truth, total, top
+	sw := rt.Switch().Stats()
 	fmt.Fprintf(w, "%d packets, %d flows; %d recirculated (budget 2^-%d), %d candidates promoted\n",
-		total, len(truth), stats.Recirculated, cfg.SampleShift, len(entries))
+		total, len(truth), sw.Recirculated, cfg.SampleShift, len(entries))
 	if len(entries) == 0 {
 		fmt.Fprintln(w, "no heavy hitters surfaced — something is wrong")
-		return nil
+		return stats, nil
 	}
 	est := entries[0].Count << cfg.SampleShift
 	fmt.Fprintf(w, "top candidate %v with %d promotions (≈%d packets); true top talker %v sent %d\n",
 		packet.IP4(entries[0].Key), entries[0].Count, est, packet.IP4(top), truth[top])
 	fmt.Fprintf(w, "%d promotion digests pushed; identification correct: %v\n",
 		len(promotions), entries[0].Key == top)
-	return nil
+	return stats, nil
 }
 
 func main() {
-	if err := run(os.Stdout, defaultHHConfig()); err != nil {
+	if _, err := run(os.Stdout, defaultHHConfig()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,250 @@
+package detect
+
+import (
+	"math/bits"
+
+	"stat4/internal/p4"
+	"stat4/internal/packet"
+	"stat4/internal/stat4p4"
+)
+
+// Track names one detector family being scored; values match the
+// traffic.Scenario.DetectableBy tags.
+type Track string
+
+const (
+	// TrackEntropy scores the destination-entropy collapse check.
+	TrackEntropy Track = "entropy"
+	// TrackHH scores probabilistic-recirculation heavy hitters.
+	TrackHH Track = "hh"
+	// TrackWindow scores the σ-band time-window check of the case study.
+	TrackWindow Track = "window"
+)
+
+// Binder is the slice of the stat4p4 runtime surface a detector
+// configuration binds through. Both *stat4p4.Runtime and
+// *stat4p4.ShardedRuntime satisfy it, so one Config drives any shard count.
+type Binder interface {
+	Library() *stat4p4.Library
+	BindEntropyDst(stage, slot int, m stat4p4.Match, shift uint, base uint64, size int, h0, checkEvery uint64) (p4.EntryID, error)
+	BindHeavyHitterSrc(stage, slot int, m stat4p4.Match, shift, sampleShift uint) (p4.EntryID, error)
+	BindWindow(stage, slot int, m stat4p4.Match, intervalShift uint, capacity int, k uint64) (p4.EntryID, error)
+}
+
+// Config is one detector configuration in the quality matrix: program
+// options plus a binding recipe. Pathological configs are deliberately
+// broken variants of a healthy twin — the dominance assertion requires each
+// to score strictly worse on every scenario its track should catch,
+// otherwise the scorer itself has a bug.
+type Config struct {
+	Name         string
+	Track        Track
+	Pathological bool
+	// HealthyTwin names the healthy config this pathology degrades.
+	HealthyTwin string
+	// Note says what is wrong with a pathological config (or what the
+	// healthy config measures).
+	Note string
+	// Opts builds the program; taken by value so every cell compiles fresh.
+	Opts stat4p4.Options
+	// SampleShift scales heavy-hitter candidate counts back to packet
+	// estimates (each promotion stands for ~2^SampleShift packets).
+	SampleShift uint
+	// Bind applies the recipe and returns the warmup horizon before which
+	// alerts are unscorable (the detector is still priming).
+	Bind func(b Binder, endNs uint64) (warmupNs uint64, err error)
+}
+
+// The shared address plan of the scenario registry: destinations live in
+// 10.0.0.0/24 (group = low byte).
+var (
+	detGroupBase = uint64(packet.ParseIP4(10, 0, 0, 0))
+	detVictimNet = packet.NewPrefix(packet.ParseIP4(10, 0, 0, 0), 8)
+	detDeafNet   = packet.NewPrefix(packet.ParseIP4(172, 16, 0, 0), 12)
+)
+
+// entropyH0 is the collapse threshold: 4 bits of destination entropy at the
+// library's canonical 2^16 fixed-point scale. Balanced background sits near
+// log2(200) ≈ 7.6 bits; a single-victim flood drags the mix toward 0.
+const entropyH0 = 4 << 16
+
+// entropyCheckEvery gates the division-free collapse check to every 1024th
+// observation (must be a power of two).
+const entropyCheckEvery = 1024
+
+// hhSampleShift is the healthy recirculation coin: promote with probability
+// 2^-8, so a candidate count of c estimates c·256 packets.
+const hhSampleShift = 8
+
+// windowShift picks the interval width for the σ-band window so a trace of
+// endNs spans ~256 intervals regardless of scale (floor 2^14 ns keeps
+// intervals meaningful on tiny smoke traces).
+func windowShift(endNs uint64) uint {
+	target := endNs / 256
+	if target == 0 {
+		return 14
+	}
+	sh := uint(bits.Len64(target)) - 1
+	if sh < 14 {
+		sh = 14
+	}
+	return sh
+}
+
+// windowWarmup is the priming horizon for window configs: 48 intervals —
+// enough to fill the 32-interval window and let σ settle.
+func windowWarmup(endNs uint64) uint64 { return 48 << windowShift(endNs) }
+
+func entropyOpts() stat4p4.Options {
+	return stat4p4.Options{Slots: 1, Size: 256, Stages: 1, Entropy: true, DigestBuf: 8192}
+}
+
+func hhOpts() stat4p4.Options {
+	return stat4p4.Options{Slots: 1, Size: 64, Stages: 1, HeavyHitter: true, HHTableSize: 128, DigestBuf: 8192}
+}
+
+func windowOpts() stat4p4.Options {
+	return stat4p4.Options{Slots: 1, Size: 256, Stages: 1, DigestBuf: 8192}
+}
+
+// Configs returns the detector-configuration registry: one healthy config
+// per track plus its pathological degradations.
+func Configs() []Config {
+	return []Config{
+		{
+			Name:  "entropy",
+			Track: TrackEntropy,
+			Note:  "destination entropy over the /24 group space, collapse below 4 bits",
+			Opts:  entropyOpts(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, detGroupBase, 256, entropyH0, entropyCheckEvery)
+				return 0, err
+			},
+		},
+		{
+			Name:         "ent-misbound",
+			Track:        TrackEntropy,
+			Pathological: true,
+			HealthyTwin:  "entropy",
+			Note:         "table bound to 172.16.0.0 — no scenario packet ever lands in the group space",
+			Opts:         entropyOpts(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, uint64(packet.ParseIP4(172, 16, 0, 0)), 256, entropyH0, entropyCheckEvery)
+				return 0, err
+			},
+		},
+		{
+			Name:         "ent-fracmis",
+			Track:        TrackEntropy,
+			Pathological: true,
+			HealthyTwin:  "entropy",
+			Note:         "frac width 1 with the threshold still scaled 2^16 — effective h0 of 2^17 bits, alarms on everything",
+			Opts: func() stat4p4.Options {
+				o := entropyOpts()
+				o.EntropyFrac = 1
+				return o
+			}(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, detGroupBase, 256, entropyH0, entropyCheckEvery)
+				return 0, err
+			},
+		},
+		{
+			Name:         "ent-saturated",
+			Track:        TrackEntropy,
+			Pathological: true,
+			HealthyTwin:  "entropy",
+			Note:         "12-bit register cells — counters and the S accumulator wrap within a trace, the check fires on garbage",
+			Opts: func() stat4p4.Options {
+				o := entropyOpts()
+				o.CellWidth = 12
+				return o
+			}(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindEntropyDst(0, 0, stat4p4.AllIPv4(), 0, detGroupBase, 256, entropyH0, entropyCheckEvery)
+				return 0, err
+			},
+		},
+		{
+			Name:        "hh",
+			Track:       TrackHH,
+			Note:        "per-source recirculation coin at 2^-8 into a 128-entry candidate table",
+			Opts:        hhOpts(),
+			SampleShift: hhSampleShift,
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, hhSampleShift)
+				return 0, err
+			},
+		},
+		{
+			Name:         "hh-starved",
+			Track:        TrackHH,
+			Pathological: true,
+			HealthyTwin:  "hh",
+			Note:         "coin at 2^-30 — no flow in a sub-second trace ever wins recirculation",
+			Opts:         hhOpts(),
+			SampleShift:  30,
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, 30)
+				return 0, err
+			},
+		},
+		{
+			Name:         "hh-squashed",
+			Track:        TrackHH,
+			Pathological: true,
+			HealthyTwin:  "hh",
+			Note:         "key shift 32 squashes every source to key 0 — the table fills with one meaningless flow",
+			Opts:         hhOpts(),
+			SampleShift:  hhSampleShift,
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 32, hhSampleShift)
+				return 0, err
+			},
+		},
+		{
+			Name:  "window",
+			Track: TrackWindow,
+			Note:  "σ-band packet-rate window over 10.0.0.0/8: 32 intervals, k = 4",
+			Opts:  windowOpts(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindWindow(0, 0, stat4p4.DstIn(detVictimNet), windowShift(endNs), 32, 4)
+				return windowWarmup(endNs), err
+			},
+		},
+		{
+			Name:         "win-deaf",
+			Track:        TrackWindow,
+			Pathological: true,
+			HealthyTwin:  "window",
+			Note:         "window bound to 172.16.0.0/12 — matches nothing, never alarms",
+			Opts:         windowOpts(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindWindow(0, 0, stat4p4.DstIn(detDeafNet), windowShift(endNs), 32, 4)
+				return windowWarmup(endNs), err
+			},
+		},
+		{
+			Name:         "win-hair",
+			Track:        TrackWindow,
+			Pathological: true,
+			HealthyTwin:  "window",
+			Note:         "k = 0 — alarms on any interval above the running mean, ~half of benign time",
+			Opts:         windowOpts(),
+			Bind: func(b Binder, endNs uint64) (uint64, error) {
+				_, err := b.BindWindow(0, 0, stat4p4.DstIn(detVictimNet), windowShift(endNs), 32, 0)
+				return windowWarmup(endNs), err
+			},
+		},
+	}
+}
+
+// FindConfig returns the named config from a registry, or false.
+func FindConfig(cfgs []Config, name string) (Config, bool) {
+	for _, c := range cfgs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"stat4/internal/traffic"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestScoreTemporalWindowing(t *testing.T) {
+	// 10 windows of 100 ns over [0, 1000); attack covers windows 5..9.
+	truth := traffic.Truth{Attacks: []traffic.TimeWindow{{StartNs: 500, EndNs: 1000}}}
+	alerts := []Alert{
+		{TsNs: 120}, // window 1: false positive
+		{TsNs: 550}, // window 5: true positive, first in-attack alert
+		{TsNs: 560}, // same window, no double count
+		{TsNs: 910}, // window 9: true positive
+	}
+	ts := ScoreTemporal(truth, 1000, 0, 10, alerts)
+	if ts.Windows != 10 || ts.TP != 2 || ts.FP != 1 || ts.FN != 3 {
+		t.Fatalf("confusion counts off: %+v", ts)
+	}
+	if got, want := ts.Precision, 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("precision %v, want %v", got, want)
+	}
+	if got, want := ts.Recall, 2.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("recall %v, want %v", got, want)
+	}
+	if ts.AttacksDetected != 1 || ts.MeanTTDNs == nil || *ts.MeanTTDNs != 50 {
+		t.Errorf("TTD should be first in-attack alert minus onset (50 ns): %+v", ts)
+	}
+}
+
+func TestScoreTemporalWarmupExclusion(t *testing.T) {
+	truth := traffic.Truth{Attacks: []traffic.TimeWindow{{StartNs: 0, EndNs: 300}}}
+	// Warmup of 300 ns swallows the whole attack and the early alert; the
+	// remaining 7 windows are all truth-negative and unflagged.
+	ts := ScoreTemporal(truth, 1000, 300, 10, []Alert{{TsNs: 150}})
+	if ts.Windows != 7 {
+		t.Fatalf("windows ending before warmup must be excluded, got %d scored", ts.Windows)
+	}
+	if ts.TP != 0 || ts.FP != 0 || ts.FN != 0 || ts.AttacksDetected != 0 {
+		t.Fatalf("warmup alert leaked into scoring: %+v", ts)
+	}
+}
+
+func TestScoreTemporalDetectionGrace(t *testing.T) {
+	// An alert landing one window past attack end still counts as detecting
+	// the attack (digest latency), but not later than that.
+	truth := traffic.Truth{Attacks: []traffic.TimeWindow{{StartNs: 100, EndNs: 200}}}
+	if ts := ScoreTemporal(truth, 1000, 0, 10, []Alert{{TsNs: 250}}); ts.AttacksDetected != 1 {
+		t.Errorf("alert within one window of grace not credited: %+v", ts)
+	}
+	if ts := ScoreTemporal(truth, 1000, 0, 10, []Alert{{TsNs: 350}}); ts.AttacksDetected != 0 {
+		t.Errorf("alert past the grace window wrongly credited: %+v", ts)
+	}
+}
+
+func TestScoreTemporalEmpty(t *testing.T) {
+	if ts := ScoreTemporal(traffic.Truth{}, 0, 0, 10, nil); ts.Windows != 0 {
+		t.Errorf("zero-length trace must score nothing: %+v", ts)
+	}
+	ts := ScoreTemporal(traffic.Truth{}, 1000, 0, 10, nil)
+	if ts.Precision != 0 || ts.Recall != 0 || ts.F1 != 0 {
+		t.Errorf("empty-denominator convention violated: %+v", ts)
+	}
+}
+
+func TestFlaggedFraction(t *testing.T) {
+	got := FlaggedFraction(1000, 0, 10, []Alert{{TsNs: 10}, {TsNs: 20}, {TsNs: 510}})
+	if want := 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("flagged fraction %v, want %v (2 of 10 windows)", got, want)
+	}
+	if got := FlaggedFraction(1000, 1000, 10, []Alert{{TsNs: 10}}); got != 0 {
+		t.Errorf("all-warmup trace must flag nothing, got %v", got)
+	}
+}
+
+func TestHeavySetAndSetPRF(t *testing.T) {
+	tally := map[uint64]uint64{1: 50, 2: 30, 3: 15, 4: 5}
+	truth := HeavySet(tally, 100, 0.20)
+	if len(truth) != 2 || !truth[1] || !truth[2] {
+		t.Fatalf("≥20%% set should be {1,2}, got %v", truth)
+	}
+	reported := map[uint64]bool{1: true, 4: true}
+	p, r, f1 := SetPRF(reported, truth)
+	if p != 0.5 || r != 0.5 || f1 != 0.5 {
+		t.Errorf("set PRF = %v/%v/%v, want 0.5 each", p, r, f1)
+	}
+	if p, r, f1 := SetPRF(nil, map[uint64]bool{}); p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty sets must score zero, got %v/%v/%v", p, r, f1)
+	}
+}
+
+func TestTallySrcsMatchesStreamReplay(t *testing.T) {
+	sc, ok := traffic.FindScenario(traffic.Registry(0.25), "pulse-ddos")
+	if !ok {
+		t.Fatal("pulse-ddos missing from registry")
+	}
+	t1, n1 := TallySrcs(sc.Build(3))
+	t2, n2 := TallySrcs(sc.Build(3))
+	if n1 == 0 || n1 != n2 || len(t1) != len(t2) {
+		t.Fatalf("tally not reproducible: %d/%d packets, %d/%d keys", n1, n2, len(t1), len(t2))
+	}
+	for k, v := range t1 {
+		if t2[k] != v {
+			t.Fatalf("tally diverged at key %d: %d vs %d", k, v, t2[k])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"stat4/internal/packet"
+)
+
+// streamDigest folds the first n events of a stream into an FNV-1a hash:
+// timestamp, addresses, ports, flags and wire length of every packet. Any
+// change to a seeded generator's output — reordered rand draws, a different
+// gap distribution, a header tweak — lands here as a different digest.
+func streamDigest(s Stream, n int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := 0; i < n; i++ {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		w64(p.TsNs)
+		f := p.Frame
+		if f.HasIPv4 {
+			w64(uint64(f.IPv4.Src)<<32 | uint64(f.IPv4.Dst))
+			w64(uint64(f.IPv4.Proto))
+		}
+		switch {
+		case f.HasTCP:
+			w64(uint64(f.TCP.SrcPort)<<32 | uint64(f.TCP.DstPort)<<8 | uint64(f.TCP.Flags))
+		case f.HasUDP:
+			w64(uint64(f.UDP.SrcPort)<<32 | uint64(f.UDP.DstPort))
+		}
+		w64(uint64(f.WireLen))
+	}
+	return h.Sum64()
+}
+
+// goldenN is how many events each golden digest covers.
+const goldenN = 256
+
+// TestGeneratorGoldenTraces pins the first 256 events of every seeded
+// generator. These digests are load-bearing: every quality number in
+// DETECT_<n>.json and every pinned example score replays these exact
+// streams, so a refactor that silently perturbs one must fail here, loudly,
+// instead of shifting all downstream scores.
+func TestGeneratorGoldenTraces(t *testing.T) {
+	dests := scnDests(8)
+	cases := []struct {
+		name string
+		s    Stream
+		want uint64
+	}{
+		{"load-balanced", &LoadBalanced{Dests: dests, Rate: 50000, End: 1e9, Seed: 1}, 0x97cc78ea3d6e7721},
+		{"load-balanced-jitter", &LoadBalanced{Dests: dests, Rate: 50000, End: 1e9, Seed: 1, Jitter: 0.3}, 0x2f43b04b4e08238},
+		{"spike", &Spike{Dest: dests[3], Rate: 200000, Start: 1e6, End: 1e9, Seed: 2}, 0x93a6365feebbcd07},
+		{"sourced-uniform", &Sourced{Dest: dests[0], Base: scnSrcBase, Values: UniformValues(512), Rate: 80000, End: 1e9, Seed: 3}, 0x9b075d50abf71897},
+		{"sourced-zipf", &Sourced{Dest: dests[0], Base: scnSrcBase, Values: ZipfValues(1.2, 1024, 9), Rate: 80000, End: 1e9, Seed: 4}, 0x9bb98a51f8a7d40d},
+		{"syn-flood", &SynFlood{Dest: dests[1], Rate: 120000, End: 1e9, Seed: 5}, 0x68c9046840b9ae48},
+		{"web-mix", &WebMix{Dests: dests, Rate: 60000, End: 1e9, Seed: 6}, 0x54496dd40a14fb14},
+		{"port-scan", &PortScan{Src: scnScanSrc, DstBase: dests[0], Hosts: 64, Rate: 9000, End: 1e9, Seed: 7}, 0x786d55da54d9a4de},
+		{"zipf-shift", &ZipfShift{Dest: dests[2], Base: scnSrcBase, Sources: 1024, S: 1.3, Rate: 100000, ShiftAt: 1e6, Offset: 100, End: 1e9, Seed: 8}, 0x9406e37aa785f603},
+		{"zipf-noshift", &ZipfShift{Dest: dests[2], Base: scnSrcBase, Sources: 1024, S: 1.3, Rate: 100000, End: 1e9, Seed: 8}, 0xec4041a1eec48301},
+		{"slowloris", &Slowloris{Dest: dests[4], Srcs: []packet.IP4{scnScanSrc, scnSpikeSrc}, Rate: 30000, End: 1e9, Seed: 9}, 0xb17cb2ee6878b1bf},
+		{"merge", Merge(&Spike{Dest: dests[0], Rate: 40000, End: 1e9, Seed: 10}, &SynFlood{Dest: dests[1], Rate: 40000, End: 1e9, Seed: 11}), 0x25cb9c63fa217ad0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := streamDigest(tc.s, goldenN)
+			if got != tc.want {
+				t.Errorf("golden digest drifted: got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}
+
+// scenarioGoldenN reaches well past every scenario's attack onset at scale
+// 0.25 (the latest, zipf-shift's change point, sits near event 11250), so
+// the digests cover anomaly traffic, not just the shared background.
+const scenarioGoldenN = 16384
+
+// TestScenarioGoldenTraces pins every registry scenario's attack trace and
+// benign twin at the smoke scale and seed the CI quality gate runs at.
+func TestScenarioGoldenTraces(t *testing.T) {
+	want := map[string][2]uint64{
+		"pulse-ddos":   {0x96b6b3a2ee641daa, 0xddf26a07f43decac},
+		"slow-scan":    {0x58eea7bff4f78140, 0x3de8e8f3d22f24df},
+		"flash-crowd":  {0x12f2434fcd27d815, 0xddf26a07f43decac},
+		"zipf-shift":   {0x9bbe97e9e51aee99, 0x31e4c9f79b92db6c},
+		"slowloris":    {0xba302f1e279ec56d, 0x3de8e8f3d22f24df},
+		"multi-vector": {0x2ffbe77d6ef666b4, 0xddf26a07f43decac},
+	}
+	reg := Registry(0.25)
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d scenarios, goldens cover %d", len(reg), len(want))
+	}
+	for _, sc := range reg {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			w, ok := want[sc.Name]
+			if !ok {
+				t.Fatalf("no golden for scenario %q", sc.Name)
+			}
+			atk := streamDigest(sc.Build(1), scenarioGoldenN)
+			ben := streamDigest(sc.Benign(1), scenarioGoldenN)
+			if atk != w[0] {
+				t.Errorf("attack trace digest drifted: got %#x, want %#x", atk, w[0])
+			}
+			if ben != w[1] {
+				t.Errorf("benign twin digest drifted: got %#x, want %#x", ben, w[1])
+			}
+			if atk == ben {
+				t.Errorf("attack trace and benign twin hash identically (%#x): the digest window misses the anomaly", atk)
+			}
+		})
+	}
+}
+
+// TestScenarioStreamsReplayIdentically asserts the registry contract that
+// Build and Benign return byte-identical streams on every call with the same
+// seed — the property the scorer leans on when it replays a stream once for
+// injection and once for ground truth.
+func TestScenarioStreamsReplayIdentically(t *testing.T) {
+	for _, sc := range Registry(0.25) {
+		if a, b := streamDigest(sc.Build(7), goldenN), streamDigest(sc.Build(7), goldenN); a != b {
+			t.Errorf("%s: Build not replayable: %#x vs %#x", sc.Name, a, b)
+		}
+		if a, b := streamDigest(sc.Benign(7), goldenN), streamDigest(sc.Benign(7), goldenN); a != b {
+			t.Errorf("%s: Benign not replayable: %#x vs %#x", sc.Name, a, b)
+		}
+		if a, b := streamDigest(sc.Build(7), goldenN), streamDigest(sc.Build(8), goldenN); a == b {
+			t.Errorf("%s: Build ignores its seed (digest %#x for both)", sc.Name, a)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // validation streams, and the value distributions behind Tables 2 and 3.
 // Every generator is seeded and deterministic, so experiments are exactly
 // reproducible.
+//
+// On top of the raw generators, Registry returns the anomaly scenario
+// matrix (scenario.go): named attack traces — pulse-wave DDoS, slow port
+// scan, flash crowd, zipf popularity shift, slowloris, a multi-vector
+// blend — each carrying machine-readable ground truth (attack windows,
+// culprit keys, the detector tracks it should be caught by) and a benign
+// control twin for false-alarm scoring. internal/detect replays these
+// scenarios to grade detector configurations end-to-end, and golden trace
+// digests pin every generator's exact byte stream.
 package traffic
 
 import (
