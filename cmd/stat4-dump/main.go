@@ -6,6 +6,7 @@
 //	stat4-dump -strict -report-only
 //	stat4-dump -resources                  # stage placement against the target model
 //	stat4-dump -resources -target configs/lint-target.json
+//	stat4-dump -slots 1 -size 64 -stages 1 -flow-table 1024 -resources   # "flowtable" catalog shape
 package main
 
 import (
@@ -26,12 +27,24 @@ func main() {
 	strict := flag.Bool("strict", false, "emit for the multiplication-free target")
 	reportOnly := flag.Bool("report-only", false, "print only the resource report")
 	sparse := flag.Bool("sparse", false, "include the sparse (hash-bucket) tracking mode")
+	flowTable := flag.Int("flow-table", 0, "include the sparse flow-table mode with this many buckets (power of two >= 4; 0 disables)")
+	hh := flag.Bool("hh", false, "include the heavy-hitter promotion mode")
+	noVariance := flag.Bool("no-variance", false, "drop the variance/sqrt/alert logic (counting-only program)")
 	emitP4 := flag.Bool("p416", false, "emit P4-16 source for the v1model architecture instead of the IR listing")
 	resources := flag.Bool("resources", false, "print the stage placement against the target model instead of the listing")
 	target := flag.String("target", "", "target-model JSON for -resources (default: the built-in pisa-3pass model)")
 	flag.Parse()
 
-	opts := stat4p4.Options{Slots: *slots, Size: *size, Stages: *stages, Echo: *echo, Strict: *strict, Sparse: *sparse}
+	opts := stat4p4.Options{Slots: *slots, Size: *size, Stages: *stages, Echo: *echo, Strict: *strict, Sparse: *sparse,
+		HeavyHitter: *hh, NoVariance: *noVariance}
+	if *flowTable > 0 {
+		if *flowTable < 4 || *flowTable&(*flowTable-1) != 0 {
+			fmt.Fprintf(os.Stderr, "flow-table buckets %d: need a power of two >= 4\n", *flowTable)
+			os.Exit(2)
+		}
+		opts.FlowTable = true
+		opts.FlowTableSize = *flowTable
+	}
 	lib := stat4p4.Build(opts)
 	if *emitP4 {
 		fmt.Print(stat4p4.EmitP416(lib))

@@ -34,6 +34,30 @@ func TestFormatStageReportFits(t *testing.T) {
 	}
 }
 
+// The flow-table catalog shapes place their register pairs and fit the
+// default target — what `stat4-dump -flow-table 1024 -resources` shows.
+func TestFormatStageReportFlowTable(t *testing.T) {
+	for _, opts := range []stat4p4.Options{
+		{Slots: 1, Size: 64, Stages: 1, FlowTable: true, FlowTableSize: 1024},
+		{Slots: 2, Size: 256, Stages: 1, FlowTable: true, FlowTableSize: 4096, HeavyHitter: true, NoVariance: true},
+	} {
+		lib := stat4p4.Build(opts)
+		rep, err := p4.AllocateStages(lib.Prog, p4.DefaultTargetModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Fit {
+			t.Fatalf("flow-table program %+v must fit the default model: %v", opts, rep.Violations)
+		}
+		out := formatStageReport(rep)
+		for _, reg := range []string{"stat.ftkeys", "stat.ftstamp", "stat.ftcnt"} {
+			if !strings.Contains(out, reg) {
+				t.Errorf("flow-table register %s missing from placement:\n%s", reg, out)
+			}
+		}
+	}
+}
+
 // An over-budget placement renders its verdict and names the violations.
 func TestFormatStageReportOverBudget(t *testing.T) {
 	lib := stat4p4.Build(stat4p4.DefaultOptions)

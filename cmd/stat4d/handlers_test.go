@@ -4,8 +4,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"stat4/internal/packet"
+	"stat4/internal/telemetry"
 )
 
 // testDaemon boots a listener-free daemon whose mux is driven directly with
@@ -175,5 +180,172 @@ func TestBindEntropyAndHHModes(t *testing.T) {
 	}
 	if msg := decodeError(t, rec); !strings.Contains(msg, "power of two") {
 		t.Fatalf("error %q does not explain the cadence constraint", msg)
+	}
+}
+
+// flowDaemon boots a daemon whose program carries the sparse flow-table
+// plane, bound to per-source flows with fast-expiring epochs.
+func flowDaemon(t *testing.T) *daemon {
+	t.Helper()
+	d, err := newDaemon(daemonConfig{
+		Shards: 2, Track: "flow", FlowTable: 64,
+		FlowEpochShift: 10, FlowTTL: 2,
+		RingCap: 64, SlabBlocks: 64, BlockSize: 32 << 10, Batch: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.shutdown)
+	return d
+}
+
+// playFlows writes a capture of distinct per-source flows and plays it
+// through the ingest engine, so the flow table holds real state.
+func playFlows(t *testing.T, d *daemon, count int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flows.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := packet.NewPcapWriter(f)
+	for i := 0; i < count; i++ {
+		src := packet.ParseIP4(198, 18, byte(i>>8), byte(i))
+		fr := packet.NewUDPFrame(src, packet.ParseIP4(10, 0, 0, 1), uint16(40000+i%1024), 80, 64)
+		if err := w.WriteFrame(uint64(i+1)*500, fr.Serialize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := d.engine.PlaySource(path, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flowsBody is the /flows response shape the handler promises.
+type flowsBody struct {
+	Slot       int     `json:"slot"`
+	Capacity   uint64  `json:"capacity"`
+	Occupied   uint64  `json:"occupied"`
+	LoadFactor float64 `json:"load_factor"`
+	Admitted   uint64  `json:"admitted"`
+	Evicted    uint64  `json:"evicted"`
+	Rejected   uint64  `json:"rejected"`
+	Shed       uint64  `json:"shed"`
+	Flows      []struct {
+		Key   string `json:"key"`
+		Raw   uint64 `json:"raw_key"`
+		Count uint64 `json:"count"`
+		Stamp uint64 `json:"stamp"`
+	} `json:"flows"`
+}
+
+// TestFlowsEndpoint drives traffic through a flow-bound daemon and reads the
+// occupancy ledger and merged flow list back over HTTP.
+func TestFlowsEndpoint(t *testing.T) {
+	d := flowDaemon(t)
+	mux := d.mux()
+
+	// Bad slot parameter is a JSON 400, as is an out-of-range slot.
+	for _, url := range []string{"/flows?slot=notanumber", "/flows?slot=99"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", url, rec.Code)
+		}
+		decodeError(t, rec)
+	}
+
+	playFlows(t, d, 300)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/flows?slot=0", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/flows = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out flowsBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/flows body: %v\n%s", err, rec.Body.String())
+	}
+	if out.Capacity != 128 { // 64 buckets per slot across 2 shards
+		t.Fatalf("capacity %d, want 128", out.Capacity)
+	}
+	if out.Occupied == 0 || out.Admitted == 0 {
+		t.Fatalf("no flows landed: %+v", out)
+	}
+	if out.Occupied != out.Admitted-out.Evicted {
+		t.Fatalf("ledger broken: occupied %d != admitted %d - evicted %d",
+			out.Occupied, out.Admitted, out.Evicted)
+	}
+	if out.LoadFactor <= 0 || out.LoadFactor > 1 {
+		t.Fatalf("load factor %f out of (0, 1]", out.LoadFactor)
+	}
+	if len(out.Flows) == 0 || uint64(len(out.Flows)) < out.Occupied/2 {
+		t.Fatalf("merged flow list has %d entries for occupancy %d", len(out.Flows), out.Occupied)
+	}
+	for _, fl := range out.Flows {
+		if fl.Count == 0 || fl.Stamp == 0 {
+			t.Fatalf("flow %q carries empty count/stamp: %+v", fl.Key, fl)
+		}
+	}
+
+	// n truncates the list to the heaviest entries.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/flows?slot=0&n=3", nil))
+	var top flowsBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Flows) != 3 {
+		t.Fatalf("n=3 returned %d flows", len(top.Flows))
+	}
+}
+
+// TestFlowsEndpointDisabled pins the failure mode of a daemon built without
+// the flow plane: /flows is a clean JSON 400, not a panic or empty body.
+func TestFlowsEndpointDisabled(t *testing.T) {
+	d := testDaemon(t, "none")
+	mux := d.mux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/flows", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("/flows without flow plane = %d, want 400", rec.Code)
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "FlowTable") {
+		t.Fatalf("error %q does not name the missing option", msg)
+	}
+}
+
+// TestFlowMetricsExposition checks the flow-table counters ride the standard
+// telemetry registry: present in the scrape, and the exposition stays valid.
+func TestFlowMetricsExposition(t *testing.T) {
+	d := flowDaemon(t)
+	playFlows(t, d, 300)
+
+	var sb strings.Builder
+	if err := d.engine.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if _, err := telemetry.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid with flow metrics: %v", err)
+	}
+	for _, name := range []string{
+		"flow_occupied", "flow_admitted_total", "flow_evicted_total",
+		"flow_rejected_total", "flow_shed_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("scrape is missing %s:\n%s", name, body)
+		}
+	}
+
+	// A daemon without the flow plane must not emit flow series.
+	plain := testDaemon(t, "none")
+	sb.Reset()
+	if err := plain.engine.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "flow_occupied") {
+		t.Fatal("flow metrics registered on a daemon without the flow plane")
 	}
 }

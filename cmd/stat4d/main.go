@@ -42,7 +42,7 @@ func main() {
 	flag.StringVar(&cfg.Unix, "unix", "", "unix socket path accepting frame streams")
 	flag.StringVar(&cfg.HTTP, "http", "", "HTTP control-plane address (/metrics, /snapshot, /bind, ...)")
 	flag.StringVar(&cfg.Pcap, "pcap", "", "pcap file or directory to play at startup (lossless)")
-	flag.StringVar(&cfg.Track, "track", "dst24", "statistic to bind: window | dst24 | proto | len | entropy | hh | none")
+	flag.StringVar(&cfg.Track, "track", "dst24", "statistic to bind: window | dst24 | proto | len | entropy | hh | flow | none")
 	flag.UintVar(&cfg.Shift, "interval-shift", 23, "window interval exponent (2^shift ns)")
 	flag.IntVar(&cfg.Window, "window", 100, "window length in intervals")
 	flag.Uint64Var(&cfg.K, "k", 0, "sigma multiplier for the anomaly check (0 disables)")
@@ -50,6 +50,9 @@ func main() {
 	flag.Float64Var(&cfg.H0Bits, "h0", 0, "entropy mode: alert when the mix drops below this many bits (0 disables)")
 	flag.Uint64Var(&cfg.CheckEvery, "check-every", 1024, "entropy mode: check cadence in observations (power of two)")
 	flag.UintVar(&cfg.SampleShift, "sample-shift", 6, "hh mode: recirculation probability 2^-shift")
+	flag.IntVar(&cfg.FlowTable, "flow-table", 0, "sparse flow-table buckets per slot (power of two, 0 disables the flow plane)")
+	flag.UintVar(&cfg.FlowEpochShift, "flow-epoch-shift", 23, "flow mode: expiry epoch exponent (2^shift ns)")
+	flag.Uint64Var(&cfg.FlowTTL, "flow-ttl", 4, "flow mode: epochs of silence before an entry is reclaimable")
 	flag.IntVar(&cfg.RingCap, "ring-cap", 256, "ingest ring capacity in batch descriptors")
 	flag.IntVar(&cfg.SlabBlocks, "slab-blocks", 256, "frame slab block count")
 	flag.IntVar(&cfg.BlockSize, "block-size", 32<<10, "frame slab block size in bytes")
@@ -97,10 +100,16 @@ type daemonConfig struct {
 	H0Bits      float64
 	CheckEvery  uint64
 	SampleShift uint
-	RingCap     int
-	SlabBlocks  int
-	BlockSize   int
-	Batch       int
+	// FlowTable sizes the sparse flow-table plane in buckets per slot
+	// (0 leaves it out of the program entirely, keeping the default sizing
+	// identical to the "entropy-hh" catalog entry).
+	FlowTable      int
+	FlowEpochShift uint
+	FlowTTL        uint64
+	RingCap        int
+	SlabBlocks     int
+	BlockSize      int
+	Batch          int
 }
 
 // daemon is one running stat4d instance: the bound sharded runtime, the
@@ -126,8 +135,17 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	// The daemon's program carries every measure — the frequency family plus
 	// entropy and heavy hitters — so /bind can move between them at runtime
 	// without rebuilding; the "entropy-hh" registry entry keeps this sizing
-	// under the stage budget.
-	lib := stat4p4.Build(stat4p4.Options{Slots: 2, Size: 256, Stages: 1, Entropy: true, HeavyHitter: true})
+	// under the stage budget. -flow-table grows the program with the sparse
+	// flow-table plane, an explicitly chosen larger sizing.
+	opts := stat4p4.Options{Slots: 2, Size: 256, Stages: 1, Entropy: true, HeavyHitter: true}
+	if cfg.FlowTable > 0 {
+		if cfg.FlowTable < 4 || cfg.FlowTable&(cfg.FlowTable-1) != 0 {
+			return nil, fmt.Errorf("flow-table buckets %d: need a power of two >= 4", cfg.FlowTable)
+		}
+		opts.FlowTable = true
+		opts.FlowTableSize = cfg.FlowTable
+	}
+	lib := stat4p4.Build(opts)
 	sr, err := stat4p4.NewShardedRuntime(lib, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -172,6 +190,8 @@ func bindTrack(sr *stat4p4.ShardedRuntime, cfg daemonConfig) error {
 		}
 	case "hh":
 		_, err = sr.BindHeavyHitterSrc(0, 0, stat4p4.AllIPv4(), 0, cfg.SampleShift)
+	case "flow":
+		_, err = sr.BindFlowSrc(0, 0, stat4p4.AllIPv4(), 0, cfg.FlowEpochShift, cfg.FlowTTL, 0, cfg.K)
 	default:
 		err = fmt.Errorf("unknown track %q", cfg.Track)
 	}
@@ -417,6 +437,65 @@ func (d *daemon) mux() *http.ServeMux {
 		}
 		writeJSON(w, out)
 	})
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		slot, err := intParam(r, "slot", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := intParam(r, "n", 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var stats stat4p4.FlowStats
+		var entries []stat4p4.FlowEntry
+		d.engine.Do(func() {
+			sr := d.engine.Runtime()
+			stats, err = sr.MergedFlowStats(slot)
+			if err == nil {
+				entries, err = sr.MergedFlows(slot)
+			}
+		})
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if n > 0 && len(entries) > n {
+			entries = entries[:n]
+		}
+		type flow struct {
+			Key   string `json:"key"` // dotted quad of the key's low 32 bits
+			Raw   uint64 `json:"raw_key"`
+			Count uint64 `json:"count"`
+			Stamp uint64 `json:"stamp"`
+		}
+		out := struct {
+			Slot       int     `json:"slot"`
+			Capacity   uint64  `json:"capacity"`
+			Occupied   uint64  `json:"occupied"`
+			LoadFactor float64 `json:"load_factor"`
+			Admitted   uint64  `json:"admitted"`
+			Evicted    uint64  `json:"evicted"`
+			Rejected   uint64  `json:"rejected"`
+			Shed       uint64  `json:"shed"`
+			Flows      []flow  `json:"flows"`
+		}{
+			Slot: slot, Capacity: stats.Capacity, Occupied: stats.Occupied,
+			Admitted: stats.Admitted, Evicted: stats.Evicted,
+			Rejected: stats.Rejected, Shed: stats.Shed,
+		}
+		if stats.Capacity > 0 {
+			out.LoadFactor = float64(stats.Occupied) / float64(stats.Capacity)
+		}
+		for _, e := range entries {
+			out.Flows = append(out.Flows, flow{
+				Key: packet.IP4(uint32(e.Key)).String(), Raw: e.Key,
+				Count: e.Count, Stamp: e.Stamp,
+			})
+		}
+		writeJSON(w, out)
+	})
 	mux.HandleFunc("/bind", d.handleBind)
 	return mux
 }
@@ -424,7 +503,7 @@ func (d *daemon) mux() *http.ServeMux {
 // bindRequest is the /bind POST body — the -track family as a wire message,
 // plus unbind and slot reset.
 type bindRequest struct {
-	Mode  string `json:"mode"` // window | dst24 | proto | len | entropy | hh | unbind | reset
+	Mode  string `json:"mode"` // window | dst24 | proto | len | entropy | hh | flow | unbind | reset
 	Stage int    `json:"stage"`
 	Slot  int    `json:"slot"`
 	// Window parameters.
@@ -441,6 +520,9 @@ type bindRequest struct {
 	CheckEvery uint64  `json:"check_every"` // power of two, 0 → every observation
 	// Heavy-hitter parameter.
 	SampleShift uint `json:"sample_shift"` // recirculation probability 2^-shift
+	// Flow-table parameters (sample_shift doubles as the mouse-shedding coin).
+	EpochShift uint   `json:"epoch_shift"` // expiry epoch exponent (2^shift ns)
+	TTL        uint64 `json:"ttl"`         // epochs of silence before reclaim
 	// Unbind target.
 	Entry uint64 `json:"entry"`
 }
@@ -503,6 +585,14 @@ func (d *daemon) handleBind(w http.ResponseWriter, r *http.Request) {
 			}
 		case "hh":
 			id, err = sr.BindHeavyHitterSrc(req.Stage, req.Slot, stat4p4.AllIPv4(), 0, req.SampleShift)
+		case "flow":
+			if req.EpochShift == 0 {
+				req.EpochShift = 23
+			}
+			if req.TTL == 0 {
+				req.TTL = 4
+			}
+			id, err = sr.BindFlowSrc(req.Stage, req.Slot, stat4p4.AllIPv4(), 0, req.EpochShift, req.TTL, req.SampleShift, req.K)
 		case "unbind":
 			err = sr.Unbind(req.Stage, p4.EntryID(req.Entry))
 		case "reset":

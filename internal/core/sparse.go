@@ -26,6 +26,15 @@ var ErrSparseFull = errors.New("core: no free bucket for key")
 // memory proportional to the number of *observed* values — the benchmark
 // suite quantifies the trade on a 2^20-value domain with a few thousand
 // active keys.
+//
+// Capacity contract: all state is allocated by NewSparseFreqDist and never
+// grows afterwards — Observe allocates nothing on any path, Active never
+// exceeds Buckets, and MemoryCells is a constant of the configuration. A
+// key stream of arbitrary cardinality (millions of distinct flows) is
+// absorbed with bounded memory: once every candidate bucket for a key is
+// taken, the observation is dropped and tallied in Rejected rather than
+// grown into. TestSparseCapacityContract pins all of this against a
+// million-flow churning mix.
 type SparseFreqDist struct {
 	keys   []uint64
 	counts []uint64

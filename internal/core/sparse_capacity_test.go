@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"stat4/internal/packet"
+	"stat4/internal/traffic"
+)
+
+// TestSparseCapacityContract pins the capacity contract the doc comment
+// promises: under a high-cardinality churning flow mix — far more distinct
+// keys than buckets — the table absorbs the stream with bounded memory,
+// every overflow lands in Rejected, and no path allocates.
+func TestSparseCapacityContract(t *testing.T) {
+	const buckets = 4096
+	d := NewSparseFreqDist(buckets, 4)
+
+	mix := &traffic.FlowMix{
+		Dests: []packet.IP4{packet.ParseIP4(10, 0, 0, 1)},
+		Base:  packet.ParseIP4(198, 18, 0, 0),
+		Flows: 1 << 20, Stable: 256, ChurnNs: 10e3, S: 1.05,
+		Rate: 1e9, End: 200e3, Seed: 42,
+	}
+
+	var offered, accepted uint64
+	for {
+		p, ok := mix.Next()
+		if !ok {
+			break
+		}
+		offered++
+		err := d.Observe(uint64(p.Frame.IPv4.Src))
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrSparseFull):
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if offered < 100000 {
+		t.Fatalf("mix produced only %d packets; the stream is not exercising overflow", offered)
+	}
+	if d.Rejected == 0 {
+		t.Fatal("no rejections: the key stream did not overflow the table, contract untested")
+	}
+	if accepted+d.Rejected != offered {
+		t.Fatalf("observation ledger leaks: accepted %d + rejected %d != offered %d",
+			accepted, d.Rejected, offered)
+	}
+	if d.Active() > buckets {
+		t.Fatalf("Active %d exceeds Buckets %d", d.Active(), buckets)
+	}
+	if got := d.MemoryCells(); got != 2*buckets {
+		t.Fatalf("MemoryCells %d moved from its configured 2*%d", got, buckets)
+	}
+
+	// Steady state (table full of live keys) must not allocate: the
+	// rejection path runs once per packet exactly when load is worst.
+	var key uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Observe(key) //nolint:errcheck // rejections are the point here
+		key++
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per call at steady state", allocs)
+	}
+}

@@ -1,0 +1,33 @@
+// Package flowtable is the sparse flow-table state plane: a bounded,
+// integer-only, allocation-free d-left hash table that lets a switch track
+// millions of distinct flows in SRAM-model register pairs instead of
+// reserving a dense counter per possible key.
+//
+// The paper's register arrays are sized at compile time — every trackable
+// key costs dedicated memory whether it ever recurs or not. This package is
+// the ROADMAP item-5 answer: a {key, epoch-stamp, count} bucket store with
+//
+//   - 2-left hashing: the bucket array splits into two halves, each probed
+//     with its own multiply-shift hash from the switch's hash family
+//     (p4.HashValue, high word — the low bits of a multiply-shift product
+//     are near-bijective and must not index anything). Exactly two probes
+//     per packet, so the per-packet cost is O(1) and independent of
+//     occupancy — the property the BenchmarkFlowTable* suite pins.
+//   - epoch-based lazy expiry, the window trick applied to liveness: an
+//     entry's stamp is its last-touch epoch (ts >> EpochShift) plus one, and
+//     an entry whose stamp has aged past TTL epochs is dead capacity that
+//     the next colliding insert reclaims. No background sweeps, no timers.
+//   - an optional 2^-SampleShift sampling front-end (the "Lean Algorithms"
+//     front-end): a per-packet coin gates the admission of NEW keys only, so
+//     one-packet mice are shed with probability 1−2^-k while established
+//     flows always count. The coin folds the timestamp into the hash input
+//     so every packet is an independent trial — a heavy flow is admitted
+//     after ~2^k packets regardless of where its key hashes.
+//
+// Every admission decision lands in a ledger (Stats) with two checked
+// invariants: Hits+Admitted+Rejected+Shed == Offered, and
+// Admitted == Occupied+Evicted. The property tests and the fuzz target
+// enforce both, and the emitted flow-table mode in internal/stat4p4 places
+// keys with the same hashes in the same layout, so the host table is a
+// bit-exact reference for the datapath program.
+package flowtable

@@ -1,0 +1,113 @@
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+
+	"stat4/internal/p4"
+)
+
+// Sharded partitions one logical flow table over N independent Tables by
+// flow-hash, the same Lemire range reduction p4.ShardedSwitch dispatches
+// packets with — every key lands on exactly one shard, so shard ledgers and
+// counts are additive and merge without double counting.
+type Sharded struct {
+	tabs []*Table
+}
+
+// NewSharded builds n identical shards of cfg. Each shard gets the full
+// cfg.Buckets, mirroring the emitted program (every shard runs the whole
+// register file).
+func NewSharded(cfg Config, n int) *Sharded {
+	if n <= 0 {
+		panic(fmt.Sprintf("flowtable: non-positive shard count %d", n))
+	}
+	s := &Sharded{tabs: make([]*Table, n)}
+	for i := range s.tabs {
+		s.tabs[i] = New(cfg)
+	}
+	return s
+}
+
+// ShardOf returns the shard index a key routes to.
+//
+//stat4:datapath
+func (s *Sharded) ShardOf(key uint64) int {
+	h32 := p4.HashValue(0, key) >> 32
+	return int((h32 * uint64(len(s.tabs))) >> 32)
+}
+
+// Shard returns the i-th shard table (for per-shard drivers: each ingest
+// worker owns its shard and calls Touch without synchronisation).
+func (s *Sharded) Shard(i int) *Table { return s.tabs[i] }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.tabs) }
+
+// Touch routes one packet to its key's shard. Single-driver convenience;
+// concurrent callers must instead partition packets by ShardOf and drive
+// each shard from one goroutine, as the benchmarks do.
+//
+//stat4:datapath
+func (s *Sharded) Touch(key, ts uint64) (shard, idx int, out Outcome) {
+	sh := s.ShardOf(key)
+	idx, out = s.tabs[sh].Touch(key, ts)
+	return sh, idx, out
+}
+
+// MergedStats sums the shard ledgers — exact, since every key is owned by
+// one shard.
+func (s *Sharded) MergedStats() Stats {
+	var m Stats
+	for _, t := range s.tabs {
+		st := t.Stats()
+		m.Offered += st.Offered
+		m.Hits += st.Hits
+		m.Admitted += st.Admitted
+		m.Evicted += st.Evicted
+		m.Rejected += st.Rejected
+		m.Shed += st.Shed
+	}
+	return m
+}
+
+// MergedOccupied sums occupied buckets across shards.
+func (s *Sharded) MergedOccupied() int {
+	n := 0
+	for _, t := range s.tabs {
+		n += t.Occupied()
+	}
+	return n
+}
+
+// MergedEntries merges the shards' occupied buckets by key (counts add,
+// stamps take the freshest), sorted by descending count then ascending key —
+// the controller-side flow view, same contract as the heavy-hitter merge.
+func (s *Sharded) MergedEntries() []Entry {
+	type acc struct {
+		count uint64
+		stamp uint64
+	}
+	byKey := make(map[uint64]acc)
+	for _, t := range s.tabs {
+		t.Each(func(e Entry) {
+			a := byKey[e.Key]
+			a.count += e.Count
+			if e.Stamp > a.stamp {
+				a.stamp = e.Stamp
+			}
+			byKey[e.Key] = a
+		})
+	}
+	out := make([]Entry, 0, len(byKey))
+	for k, a := range byKey {
+		out = append(out, Entry{Key: k, Count: a.count, Stamp: a.stamp})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -143,6 +143,31 @@ func New(sr *stat4p4.ShardedRuntime, cfg Config) *Engine {
 	e.reg.RegisterCounter("pkts_out", "frames emitted by the shard pipelines", func() uint64 { return e.ss.Stats().PktsOut })
 	e.reg.RegisterCounter("parse_errors", "frames rejected by the shard parsers", func() uint64 { return e.ss.Stats().ParseErrors })
 	e.reg.RegisterCounter("recirculated", "heavy-hitter promotion passes taken through the pipelines", func() uint64 { return e.ss.Stats().Recirculated })
+	if lib := sr.Library(); lib.Opts.FlowTable {
+		// Scrapes run on the consumer (WriteProm goes through Do), so these
+		// callbacks may read merged flow-table state without racing a batch.
+		flowStat := func(pick func(stat4p4.FlowStats) uint64) func() uint64 {
+			return func() uint64 {
+				var sum uint64
+				for slot := 0; slot < lib.Opts.Slots; slot++ {
+					if fs, err := e.sr.MergedFlowStats(slot); err == nil {
+						sum += pick(fs)
+					}
+				}
+				return sum
+			}
+		}
+		e.reg.RegisterGauge("flow_occupied", "occupied flow-table buckets across slots and shards",
+			flowStat(func(fs stat4p4.FlowStats) uint64 { return fs.Occupied }))
+		e.reg.RegisterCounter("flow_admitted_total", "flows admitted into the flow table",
+			flowStat(func(fs stat4p4.FlowStats) uint64 { return fs.Admitted }))
+		e.reg.RegisterCounter("flow_evicted_total", "stale flow-table entries reclaimed by eviction",
+			flowStat(func(fs stat4p4.FlowStats) uint64 { return fs.Evicted }))
+		e.reg.RegisterCounter("flow_rejected_total", "flow arrivals dropped with every candidate bucket live",
+			flowStat(func(fs stat4p4.FlowStats) uint64 { return fs.Rejected }))
+		e.reg.RegisterCounter("flow_shed_total", "flow arrivals shed by the sampling front-end",
+			flowStat(func(fs stat4p4.FlowStats) uint64 { return fs.Shed }))
+	}
 	go e.run()
 	return e
 }

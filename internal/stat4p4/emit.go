@@ -152,6 +152,16 @@ type Options struct {
 	// HHTableSize is the candidate-table capacity per slot (default 16,
 	// power of two).
 	HHTableSize int
+	// FlowTable adds the sparse flow-table addressing mode (flowtable.go):
+	// a per-slot 2-left hash table of {key, epoch stamp, count} buckets with
+	// epoch-based lazy expiry and an optional 2^-k admission coin, the
+	// emitted twin of internal/flowtable. Eviction subtracts the dead flow's
+	// squared contribution from the moments, so the mode needs runtime
+	// multiplication and is incompatible with Strict.
+	FlowTable bool
+	// FlowTableSize is the flow-table bucket count per slot (default 1024,
+	// power of two ≥ 4; half probed by each hash).
+	FlowTableSize int
 }
 
 // DefaultOptions matches the case-study defaults: 8 distribution slots of
@@ -197,6 +207,11 @@ type fields struct {
 	// binding stage may reuse them.
 	hhkey, hhbase, hhslot, hhgate p4.FieldID
 	recirc                        p4.FieldID
+
+	// Flow-table scratch (flowtable.go): admission-coin gate, the stamp a
+	// touch writes (epoch + 1) and the two candidate-bucket ages. Consumed
+	// within the binding stage, like the sparse scratch.
+	ftgate, fts, fta1, fta2 p4.FieldID
 }
 
 // Build emits the Stat4 program. It panics on malformed options (sizes must
@@ -240,6 +255,17 @@ func Build(opts Options) *Library {
 			panic(fmt.Sprintf("stat4p4: HHTableSize must be a power of two ≥ 2, have %d", opts.HHTableSize))
 		}
 	}
+	if opts.FlowTable {
+		if opts.Strict {
+			panic("stat4p4: FlowTable eviction needs runtime multiplication (Xsumsq −= c²); incompatible with Strict")
+		}
+		if opts.FlowTableSize == 0 {
+			opts.FlowTableSize = 1024
+		}
+		if opts.FlowTableSize < 4 || opts.FlowTableSize&(opts.FlowTableSize-1) != 0 {
+			panic(fmt.Sprintf("stat4p4: FlowTableSize must be a power of two ≥ 4, have %d", opts.FlowTableSize))
+		}
+	}
 	prog := p4.NewProgram("stat4")
 	if opts.Strict {
 		prog.Target = p4.TargetStrict
@@ -259,6 +285,9 @@ func Build(opts Options) *Library {
 	}
 	if opts.HeavyHitter {
 		lib.declareHeavyHitter()
+	}
+	if opts.FlowTable {
+		lib.declareFlowTable()
 	}
 	lib.declareTables()
 	lib.buildControl()
@@ -341,6 +370,10 @@ func (l *Library) declareFields() {
 	f.hhslot = w64("m.hhslot")
 	f.hhgate = w64("m.hhgate")
 	f.recirc = p.AddField("m.recirc", 1)
+	f.ftgate = w64("m.ftgate")
+	f.fts = w64("m.fts")
+	f.fta1 = w64("m.fta1")
+	f.fta2 = w64("m.fta2")
 }
 
 func (l *Library) declareRegisters() {
@@ -517,6 +550,9 @@ func (l *Library) declareTables() {
 	if l.Opts.HeavyHitter {
 		bindable = append(bindable, "bind_hh_dst", "bind_hh_src")
 	}
+	if l.Opts.FlowTable {
+		bindable = append(bindable, "bind_flow_dst", "bind_flow_src", "bind_flow_pair")
+	}
 	for s := 0; s < l.Opts.Stages; s++ {
 		name := fmt.Sprintf("bind%d", s)
 		l.BindTables = append(l.BindTables, name)
@@ -590,6 +626,9 @@ func (l *Library) updateBlock() []p4.Stmt {
 	}
 	if l.Opts.HeavyHitter {
 		stmts = append(stmts, p4.If(eq(f.kind, kindHH), l.hhBlock()...))
+	}
+	if l.Opts.FlowTable {
+		stmts = append(stmts, p4.If(eq(f.kind, kindFlow), l.flowBlock()...))
 	}
 	if !l.Opts.NoVariance {
 		stmts = append(stmts,

@@ -46,6 +46,10 @@ func Registered() []RegisteredProgram {
 			Note: "probabilistic-recirculation heavy hitters (examples/heavyhitter)"},
 		{Name: "entropy-hh", Opts: Options{Slots: 2, Size: 256, Stages: 1, Entropy: true, HeavyHitter: true},
 			Note: "entropy and heavy hitters composed in one program; one binding stage leaves the recirculation pass its stage headroom"},
+		{Name: "flowtable", Opts: Options{Slots: 1, Size: 64, Stages: 1, FlowTable: true, FlowTableSize: 1024},
+			Note: "sparse flow-table state plane: 1024 2-left buckets of {key, stamp, count} per slot"},
+		{Name: "flowtable-hh", Opts: Options{Slots: 2, Size: 256, Stages: 1, FlowTable: true, FlowTableSize: 4096, HeavyHitter: true, NoVariance: true},
+			Note: "flow table composed with heavy hitters (counting only, NoVariance): churn-tolerant per-flow counts plus elephant promotion in one program"},
 	}
 }
 

@@ -417,6 +417,29 @@ func (rt *Runtime) ResetSlot(slot int) error {
 			return err
 		}
 	}
+	if rt.lib.Opts.FlowTable {
+		ftBase := slot * rt.lib.Opts.FlowTableSize
+		for _, name := range []string{RegFTKeys, RegFTStamp, RegFTCnt} {
+			reg, err := rt.sw.Register(name)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < rt.lib.Opts.FlowTableSize; i++ {
+				if err := reg.WriteCell(ftBase+i, 0); err != nil {
+					return err
+				}
+			}
+		}
+		for _, name := range []string{RegFTAdm, RegFTEvt, RegFTRej, RegFTShed} {
+			reg, err := rt.sw.Register(name)
+			if err != nil {
+				return err
+			}
+			if err := reg.WriteCell(slot, 0); err != nil {
+				return err
+			}
+		}
+	}
 	for _, name := range ScalarRegisters {
 		reg, err := rt.sw.Register(name)
 		if err != nil {

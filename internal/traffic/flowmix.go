@@ -1,0 +1,76 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"stat4/internal/packet"
+)
+
+// FlowMix emits a high-cardinality flow mix: UDP packets whose 5-tuples are
+// drawn from a zipfian flow population of Flows distinct flows, with the low
+// Stable ranks (the elephants) persisting for the whole trace while the
+// mouse tail churns — every ChurnNs a fresh, disjoint slice of the flow id
+// space takes over the tail ranks, so flows are born and die at generation
+// boundaries and the union over the trace covers the full population. This
+// is the workload the sparse flow-table state plane exists for: a live flow
+// set far larger than any dense per-key array, dominated by single-packet
+// mice under a small stable head.
+//
+// Flow ids map to deterministic 5-tuples: destination Dests[id mod len],
+// source Base + id/len, source port derived from the id. The mapping is
+// injective while id/len(Dests) stays under 2^16, so distinct flow ids stay
+// distinct under src-, dst- and pair-keyed tracking alike.
+type FlowMix struct {
+	Dests   []packet.IP4
+	Base    packet.IP4 // sources are Base + id/len(Dests)
+	Flows   uint64     // distinct flows across the whole trace
+	Stable  uint64     // low zipf ranks that survive churn (elephant head)
+	ChurnNs uint64     // mouse generation length; 0 = no churn
+	S       float64    // zipf exponent (> 1)
+	Rate    float64
+	Start   uint64
+	End     uint64
+	Seed    int64
+	Jitter  float64
+
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	slice uint64 // mouse flows exposed per generation
+	now   float64
+}
+
+// Next implements Stream.
+func (g *FlowMix) Next() (Pkt, bool) {
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(g.Seed))
+		g.now = float64(g.Start)
+		gens := uint64(1)
+		if g.ChurnNs > 0 {
+			gens = (g.End - g.Start + g.ChurnNs - 1) / g.ChurnNs
+			if gens == 0 {
+				gens = 1
+			}
+		}
+		g.slice = (g.Flows - g.Stable) / gens
+		if g.slice == 0 {
+			g.slice = 1
+		}
+		g.zipf = rand.NewZipf(rand.New(rand.NewSource(g.Seed+1)), g.S, 1, g.Stable+g.slice-1)
+	}
+	g.now += gap(g.rng, g.Rate, g.Jitter)
+	ts := uint64(g.now)
+	if ts >= g.End {
+		return Pkt{}, false
+	}
+	r := g.zipf.Uint64()
+	fid := r
+	if r >= g.Stable && g.ChurnNs > 0 {
+		gen := (ts - g.Start) / g.ChurnNs
+		fid = g.Stable + gen*g.slice + (r - g.Stable)
+	}
+	nd := uint64(len(g.Dests))
+	dst := g.Dests[fid%nd]
+	src := packet.IP4(uint32(g.Base) + uint32(fid/nd))
+	sport := uint16(40000 + fid%1024)
+	return Pkt{TsNs: ts, Frame: packet.NewUDPFrame(src, dst, sport, 80, 64)}, true
+}

@@ -68,6 +68,8 @@ func TestGeneratorGoldenTraces(t *testing.T) {
 		{"zipf-noshift", &ZipfShift{Dest: dests[2], Base: scnSrcBase, Sources: 1024, S: 1.3, Rate: 100000, End: 1e9, Seed: 8}, 0xec4041a1eec48301},
 		{"slowloris", &Slowloris{Dest: dests[4], Srcs: []packet.IP4{scnScanSrc, scnSpikeSrc}, Rate: 30000, End: 1e9, Seed: 9}, 0xb17cb2ee6878b1bf},
 		{"merge", Merge(&Spike{Dest: dests[0], Rate: 40000, End: 1e9, Seed: 10}, &SynFlood{Dest: dests[1], Rate: 40000, End: 1e9, Seed: 11}), 0x25cb9c63fa217ad0},
+		{"flow-mix", &FlowMix{Dests: dests, Base: scnSrcBase, Flows: 1 << 16, Stable: 256, ChurnNs: 125e6, S: 1.1, Rate: 80000, End: 1e9, Seed: 12}, 0x43a3bfdc8943d6f3},
+		{"flow-mix-stable", &FlowMix{Dests: dests, Base: scnSrcBase, Flows: 1 << 12, S: 1.2, Rate: 80000, End: 1e9, Seed: 12}, 0xde211fcdce2a5156},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,6 +96,7 @@ func TestScenarioGoldenTraces(t *testing.T) {
 		"zipf-shift":   {0x9bbe97e9e51aee99, 0x31e4c9f79b92db6c},
 		"slowloris":    {0xba302f1e279ec56d, 0x3de8e8f3d22f24df},
 		"multi-vector": {0x2ffbe77d6ef666b4, 0xddf26a07f43decac},
+		"flow-churn":   {0x610fb1df88020422, 0x2c0a21c904204ae7},
 	}
 	reg := Registry(0.25)
 	if len(reg) != len(want) {

@@ -188,9 +188,11 @@ var (
 	scnVictimCrowd  = packet.ParseIP4(10, 0, 0, 42)
 	scnVictimSingle = packet.ParseIP4(10, 0, 0, 9)
 	scnVictimLoris  = packet.ParseIP4(10, 0, 0, 5)
+	scnVictimChurn  = packet.ParseIP4(10, 0, 0, 111)
 	scnSpikeSrc     = packet.ParseIP4(198, 51, 100, 7) // Spike's fixed source
 	scnScanSrc      = packet.ParseIP4(203, 0, 113, 66)
 	scnSrcBase      = packet.ParseIP4(198, 18, 0, 0)
+	scnMiceBase     = packet.ParseIP4(100, 64, 0, 0) // spoofed mouse-flood id space
 )
 
 // scnDests returns the first n destination groups 10.0.0.[0,n).
@@ -393,6 +395,46 @@ func Registry(scale float64) []Scenario {
 			)
 		},
 		Benign: func(seed int64) Stream { return mvBG(seed) },
+	})
+
+	// flow-churn: a million-flow zipfian mix — a stable elephant head over a
+	// churning mouse tail — hit mid-trace by a flow-creation flood: a storm
+	// of short-lived spoofed mouse flows converging on one victim.
+	// Destination entropy collapses, but no single culprit source exists and
+	// the live flow set dwarfs any dense per-key array — the sparse
+	// flow-table's home turf. Only the entropy track is gated: the flood
+	// also lifts the victim-net rate, but the 5-tuple shard dispatch spreads
+	// the churning background unevenly enough that the per-shard σ-band's
+	// benign quietness margin is too thin to gate on. The background rate is
+	// load-bearing: at 150k pps the head destinations pass 4096 packets
+	// within the trace, so narrow-cell detectors (ent-saturated's 12-bit
+	// registers) wrap and misfire on the benign twin — saturation has to
+	// cost something even at one shard, or the dominance audit can't
+	// separate it from the healthy config.
+	churnWin := TimeWindow{StartNs: s(260e6), EndNs: end}
+	churnBG := func(seed int64) Stream {
+		return &FlowMix{
+			Dests: scnDests(200), Base: scnSrcBase, Flows: 1 << 20,
+			Stable: 4096, ChurnNs: s(75e6), S: 1.1, Rate: 150000,
+			End: end, Seed: seed,
+		}
+	}
+	reg = append(reg, Scenario{
+		Name:  "flow-churn",
+		EndNs: end,
+		Truth: Truth{
+			Attacks:      []TimeWindow{churnWin},
+			VictimGroups: []uint64{111},
+		},
+		DetectableBy: []string{"entropy"},
+		Build: func(seed int64) Stream {
+			return Merge(churnBG(seed), &FlowMix{
+				Dests: []packet.IP4{scnVictimChurn}, Base: scnMiceBase,
+				Flows: 1 << 18, ChurnNs: s(4e6), S: 1.1, Rate: 1800000,
+				Start: churnWin.StartNs, End: end, Seed: seed + 1,
+			})
+		},
+		Benign: func(seed int64) Stream { return churnBG(seed) },
 	})
 
 	return reg
